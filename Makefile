@@ -1,0 +1,23 @@
+# Convenience targets for the repro library.
+
+.PHONY: install test bench bench-full examples docs-check all
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+bench-full:
+	REPRO_FULL_SCALE=1 pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		python $$script || exit 1; \
+	done
+
+all: test bench

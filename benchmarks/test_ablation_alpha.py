@@ -1,0 +1,82 @@
+"""Ablation — alpha as a per-partition vector vs a fixed scalar.
+
+The paper argues for alpha_i = W(P_i, V)/W(V, V) (dynamic, per
+partition) over a single constant. This bench scores a pool of
+candidate partitionings of the D1 supergraph with the vector objective
+and with fixed scalars, and compares how well each objective's ranking
+agrees with the external quality metric (ANS): the number of candidate
+pairs ordered the same way by the objective and by ANS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table, save_results
+from repro.core.alpha_cut import alpha_cut_value
+from repro.metrics.ans import ans
+from repro.pipeline.schemes import run_scheme
+
+ALPHAS = (None, 0.25, 0.5, 0.75)  # None = paper's vector
+K_VALUES = (3, 5, 7, 9)
+N_SEEDS = 4
+
+
+def _concordance(objective_scores, quality_scores):
+    """Fraction of pairs where lower objective implies lower ANS."""
+    agree = total = 0
+    n = len(objective_scores)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if objective_scores[i] == objective_scores[j]:
+                continue
+            total += 1
+            same_order = (objective_scores[i] < objective_scores[j]) == (
+                quality_scores[i] < quality_scores[j]
+            )
+            agree += same_order
+    return agree / total if total else 0.0
+
+
+def test_ablation_alpha_vector_vs_scalar(benchmark, d1_graph):
+    def run():
+        candidates = []
+        for k in K_VALUES:
+            for seed in range(N_SEEDS):
+                result = run_scheme("AG", d1_graph, k, seed=seed)
+                candidates.append(result.labels)
+        from repro.graph.affinity import congestion_affinity
+
+        affinity = congestion_affinity(d1_graph)
+        quality = [
+            ans(d1_graph.features, labels, d1_graph.adjacency)
+            for labels in candidates
+        ]
+        scores = {}
+        for alpha in ALPHAS:
+            scores[alpha] = [
+                alpha_cut_value(affinity, labels, alpha=alpha)
+                for labels in candidates
+            ]
+        return quality, scores
+
+    quality, scores = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    concordance = {
+        ("vector" if a is None else f"alpha={a}"): _concordance(s, quality)
+        for a, s in scores.items()
+    }
+    print_table(
+        "Ablation: objective-vs-ANS ranking concordance",
+        ["alpha", "concordance"],
+        [[name, round(value, 4)] for name, value in concordance.items()],
+    )
+    save_results("ablation_alpha", {"concordance": concordance})
+
+    # the vector objective must be a meaningful quality proxy, and at
+    # least competitive with the best fixed scalar
+    vector = concordance["vector"]
+    best_scalar = max(v for k, v in concordance.items() if k != "vector")
+    assert vector > 0.5
+    assert vector >= best_scalar - 0.15

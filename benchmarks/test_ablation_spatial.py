@@ -1,0 +1,88 @@
+"""Ablation — why spatial constraints (and density awareness) matter.
+
+Two baselines bracket the framework from opposite sides:
+
+* **density-only k-means** (no spatial constraints): the clusters are
+  density-perfect but shatter into many disconnected pieces — exactly
+  the failure Section 3 of the paper argues motivates the framework;
+* **multilevel/KL** (topology-only, density-blind affinity ignored):
+  the partitions are beautifully balanced and connected but mix
+  congestion levels, so the density metrics are poor.
+
+The framework (ASG) must beat the first on connectivity and the second
+on density homogeneity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table, save_results
+from repro.baselines.kmeans_only import spatial_fragmentation
+from repro.baselines.multilevel import MultilevelPartitioner
+from repro.metrics.ans import ans
+from repro.metrics.validation import validate_partitioning
+from repro.pipeline.schemes import run_scheme
+
+K = 6
+
+
+def test_ablation_spatial_constraints(benchmark, d1_graph):
+    def run():
+        out = {}
+        # framework
+        asg = run_scheme("ASG", d1_graph, K, seed=0)
+        out["ASG"] = {
+            "ans": ans(d1_graph.features, asg.labels, d1_graph.adjacency),
+            "pieces": len(
+                validate_partitioning(d1_graph.adjacency, asg.labels).disconnected
+            ),
+            "k": asg.k,
+        }
+        # density-only k-means
+        km_labels, pieces = spatial_fragmentation(d1_graph, K)
+        out["kmeans-only"] = {
+            "ans": ans(d1_graph.features, km_labels, d1_graph.adjacency),
+            "pieces": pieces,
+            "k": K,
+        }
+        # multilevel (topology only)
+        ml_labels = MultilevelPartitioner(K, seed=0).partition(d1_graph)
+        out["multilevel"] = {
+            "ans": ans(d1_graph.features, ml_labels, d1_graph.adjacency),
+            "pieces": len(
+                validate_partitioning(d1_graph.adjacency, ml_labels).disconnected
+            ),
+            "k": int(ml_labels.max()) + 1,
+        }
+        # greedy region growing (density + connectivity, no spectral)
+        from repro.baselines.region_growing import RegionGrowingPartitioner
+
+        rg_labels = RegionGrowingPartitioner(K, seed=0).partition(d1_graph)
+        out["region-growing"] = {
+            "ans": ans(d1_graph.features, rg_labels, d1_graph.adjacency),
+            "pieces": len(
+                validate_partitioning(d1_graph.adjacency, rg_labels).disconnected
+            ),
+            "k": int(rg_labels.max()) + 1,
+        }
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_table(
+        "Ablation: spatial constraints and density awareness (D1, k=6)",
+        ["method", "ans", "k", "disconnected/pieces"],
+        [
+            [name, round(rec["ans"], 4), rec["k"], rec["pieces"]]
+            for name, rec in results.items()
+        ],
+    )
+    save_results("ablation_spatial", results)
+
+    # the framework's partitions are connected; k-means-only shatters
+    assert results["ASG"]["pieces"] == 0
+    assert results["kmeans-only"]["pieces"] > K
+    # the framework beats the density-blind multilevel cut on ANS
+    assert results["ASG"]["ans"] < results["multilevel"]["ans"]

@@ -1,0 +1,54 @@
+"""Ablation — the stability threshold epsilon_eta (ASG -> AG continuum).
+
+The paper: epsilon_eta = 0 behaves as ASG (plain supergraph), 1
+behaves as AG (no condensation beyond equal-feature merges); values in
+between trade quality against supergraph order. This bench sweeps the
+threshold and records the supernode count and the partitioning
+quality, asserting the monotone order growth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table, save_results
+from repro.pipeline.schemes import run_scheme
+
+THRESHOLDS = (0.0, 0.5, 0.9, 0.99, 1.0)
+K = 6
+
+
+def test_ablation_stability_threshold(benchmark, d1_graph):
+    def run():
+        out = {}
+        for eta in THRESHOLDS:
+            result = run_scheme("ASG", d1_graph, K, epsilon_eta=eta, seed=0)
+            metrics = result.evaluate(d1_graph)
+            out[eta] = {
+                "n_supernodes": result.n_supernodes,
+                "ans": metrics["ans"],
+                "gdbi": metrics["gdbi"],
+            }
+        return out
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_table(
+        "Ablation: stability threshold sweep (k=6, D1)",
+        ["epsilon_eta", "supernodes", "ans", "gdbi"],
+        [
+            [eta, sweep[eta]["n_supernodes"], round(sweep[eta]["ans"], 4),
+             round(sweep[eta]["gdbi"], 4)]
+            for eta in THRESHOLDS
+        ],
+    )
+    save_results("ablation_stability", {str(k): v for k, v in sweep.items()})
+
+    counts = [sweep[eta]["n_supernodes"] for eta in THRESHOLDS]
+    # order grows monotonically with the threshold (complexity knob)
+    assert all(a <= b for a, b in zip(counts, counts[1:]))
+    # the knob actually moves: full stability demands a finer supergraph
+    assert counts[-1] > counts[0]
+    # quality stays in a sane band across the sweep
+    assert all(np.isfinite(sweep[eta]["ans"]) for eta in THRESHOLDS)

@@ -1,0 +1,79 @@
+"""Bench — consensus layouts over the simulated morning.
+
+Repeatedly partitioning (the paper's operating mode) gives a different
+layout per interval; operators often need one layout for a whole
+period. This bench partitions several intervals of the D1 series,
+fuses them with alpha-Cut consensus, and compares the consensus
+layout's per-snapshot quality against the tailor-made layouts: the
+consensus must stay valid and within a bounded quality factor of the
+per-snapshot optima while being a single, stable layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table, save_results
+from repro.analysis.consensus import consensus_partition, stability_map
+from repro.datasets.small import small_network_series
+from repro.metrics.ans import ans
+from repro.metrics.validation import validate_partitioning
+from repro.network.dual import build_road_graph
+from repro.pipeline.schemes import run_scheme
+
+K = 4
+SNAPSHOTS = (40, 60, 80, 100)
+
+
+def test_consensus_layout_quality(benchmark):
+    network, series = small_network_series(seed=7)
+    graph = build_road_graph(network)
+
+    def run():
+        labelings = []
+        per_snapshot_ans = []
+        for t in SNAPSHOTS:
+            g_t = graph.with_features(series[t])
+            labels = run_scheme("ASG", g_t, K, seed=0).labels
+            labelings.append(labels)
+            per_snapshot_ans.append(ans(series[t], labels, graph.adjacency))
+
+        layout = consensus_partition(
+            graph.adjacency, labelings, k=K, method="alphacut", seed=0
+        )
+        consensus_ans = [
+            ans(series[t], layout, graph.adjacency) for t in SNAPSHOTS
+        ]
+        stability = stability_map(graph.adjacency, labelings)
+        return per_snapshot_ans, consensus_ans, layout, float(stability.mean())
+
+    per_snapshot, consensus, layout, stability = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    rows = [
+        [t, round(per_snapshot[i], 4), round(consensus[i], 4)]
+        for i, t in enumerate(SNAPSHOTS)
+    ]
+    print_table(
+        f"Consensus layout vs per-snapshot layouts (ANS, k={K})",
+        ["t", "tailor-made", "consensus"],
+        rows,
+    )
+    save_results(
+        "bench_consensus",
+        {
+            "snapshots": list(SNAPSHOTS),
+            "per_snapshot_ans": per_snapshot,
+            "consensus_ans": consensus,
+            "mean_stability": stability,
+        },
+    )
+
+    # one valid connected layout for the whole period
+    validation = validate_partitioning(graph.adjacency, layout)
+    assert validation.is_valid and validation.k == K
+    # its median quality stays within a bounded factor of the
+    # tailor-made layouts (which are free to move every interval)
+    assert np.median(consensus) <= 5 * max(np.median(per_snapshot), 0.02)

@@ -1,0 +1,103 @@
+"""Bench — incremental (distributed) repartitioning vs full reruns.
+
+The paper's Section 6.4 proposal: after an initial global
+partitioning, repartition regions *distributively* as congestion
+changes. This bench replays a sequence of density snapshots two ways —
+a full global run per snapshot vs :class:`IncrementalRepartitioner` —
+and compares total wall-clock time and final quality.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import LARGE_NAMES, print_table, save_results
+from repro.metrics.ans import ans
+from repro.pipeline.incremental import IncrementalRepartitioner
+from repro.pipeline.schemes import run_scheme
+
+K = 6
+N_SNAPSHOTS = 5
+
+
+def _density_sequence(graph, rng):
+    """A base field plus localised multiplicative drift per snapshot."""
+    base = np.asarray(graph.features, dtype=float)
+    snapshots = [base]
+    current = base
+    for __ in range(N_SNAPSHOTS - 1):
+        drift = rng.uniform(0.95, 1.05, size=current.shape)
+        # one random contiguous-ish hotspot gets a strong boost
+        centre = rng.integers(current.size)
+        boost = np.ones_like(current)
+        boost[max(0, centre - 40) : centre + 40] = rng.uniform(1.5, 2.5)
+        current = current * drift * boost
+        snapshots.append(current)
+    return snapshots
+
+
+def test_incremental_vs_full_repartitioning(benchmark, large_graphs):
+    graph = large_graphs[LARGE_NAMES[0]]
+    rng = np.random.default_rng(0)
+    snapshots = _density_sequence(graph, rng)
+
+    def run():
+        # full reruns
+        t0 = time.perf_counter()
+        full_labels = None
+        for dens in snapshots:
+            g_t = graph.with_features(dens)
+            full_labels = run_scheme("ASG", g_t, K, seed=0).labels
+        full_time = time.perf_counter() - t0
+        full_ans = ans(snapshots[-1], full_labels, graph.adjacency)
+
+        # incremental
+        t0 = time.perf_counter()
+        inc = IncrementalRepartitioner(
+            graph, k=K, staleness_threshold=0.2, seed=0
+        )
+        inc.bootstrap(snapshots[0])
+        refreshed_total = 0
+        for dens in snapshots[1:]:
+            report = inc.update(dens)
+            refreshed_total += len(report.refreshed)
+        inc_time = time.perf_counter() - t0
+        inc_ans = ans(snapshots[-1], inc.labels, graph.adjacency)
+        return {
+            "full": {"seconds": full_time, "ans": full_ans},
+            "incremental": {
+                "seconds": inc_time,
+                "ans": inc_ans,
+                "regions_refreshed": refreshed_total,
+            },
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_table(
+        f"Incremental vs full repartitioning ({N_SNAPSHOTS} snapshots, k={K})",
+        ["mode", "seconds", "ans@last", "refreshed"],
+        [
+            [
+                "full",
+                round(results["full"]["seconds"], 3),
+                round(results["full"]["ans"], 4),
+                "-",
+            ],
+            [
+                "incremental",
+                round(results["incremental"]["seconds"], 3),
+                round(results["incremental"]["ans"], 4),
+                results["incremental"]["regions_refreshed"],
+            ],
+        ],
+    )
+    save_results("bench_incremental", results)
+
+    # incremental must be materially cheaper than full reruns...
+    assert results["incremental"]["seconds"] < results["full"]["seconds"]
+    # ...at a quality not catastrophically worse (same order of magnitude)
+    assert results["incremental"]["ans"] < 5 * max(results["full"]["ans"], 0.05)

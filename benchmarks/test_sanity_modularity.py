@@ -1,0 +1,55 @@
+"""Sanity — the alpha-Cut / modularity duality at benchmark scale.
+
+The paper (Section 7) notes its alpha-Cut matrix is the negative of
+the Newman modularity matrix, so minimising alpha-Cut approximately
+maximises modularity. This bench verifies both directions on the D1
+supergraph: the spectral embeddings coincide, and across candidate
+partitionings the two objectives are strongly anti-correlated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table, save_results
+from repro.baselines.modularity import modularity_value
+from repro.core.alpha_cut import alpha_cut_value
+from repro.graph.laplacian import alpha_cut_matrix, modularity_matrix
+from repro.pipeline.schemes import run_scheme
+from repro.supergraph.builder import build_supergraph
+
+
+def test_sanity_alpha_cut_is_negative_modularity(benchmark, d1_graph):
+    def run():
+        sg = build_supergraph(d1_graph, seed=0)
+        adj = sg.adjacency
+        m = alpha_cut_matrix(adj)
+        b = modularity_matrix(adj)
+        matrix_gap = float(np.abs(m + b).max())
+
+        candidates = []
+        for k in (3, 5, 7):
+            for seed in range(3):
+                candidates.append(run_scheme("AG", d1_graph, k, seed=seed).labels)
+        from repro.graph.affinity import congestion_affinity
+
+        affinity = congestion_affinity(d1_graph)
+        alpha_scores = [alpha_cut_value(affinity, lab) for lab in candidates]
+        mod_scores = [modularity_value(affinity, lab) for lab in candidates]
+        corr = float(np.corrcoef(alpha_scores, mod_scores)[0, 1])
+        return matrix_gap, corr
+
+    matrix_gap, corr = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_table(
+        "Sanity: alpha-Cut vs modularity",
+        ["quantity", "value"],
+        [["max |M + B|", matrix_gap], ["corr(alpha-cut, modularity)", round(corr, 4)]],
+    )
+    save_results("sanity_modularity", {"matrix_gap": matrix_gap, "correlation": corr})
+
+    # M = -B exactly
+    assert matrix_gap < 1e-10
+    # objectives anti-correlated across candidates
+    assert corr < -0.2

@@ -1,0 +1,85 @@
+"""Table 1 — dataset statistics.
+
+Paper values (real data):
+
+========  ==============  ========  ===============
+dataset   area (sq. ml.)  segments  intersections
+========  ==============  ========  ===============
+D1        2.5             420       237
+M1        6.6             17,206    10,096
+M2        31.5            53,494    28,465
+M3        42.03           79,487    42,321
+========  ==============  ========  ===============
+
+This bench regenerates the table for the synthetic analogues. At the
+default quarter scale the M-networks are ~16x smaller; run with
+``REPRO_FULL_SCALE=1`` to match the paper's segment counts (the
+generator presets were solved for them).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import (
+    FULL_SCALE,
+    LARGE_NAMES,
+    print_table,
+    save_results,
+)
+from repro.datasets.registry import load_dataset
+
+_PAPER = {
+    "D1": {"area_sq_ml": 2.5, "segments": 420, "intersections": 237},
+    "M1": {"area_sq_ml": 6.6, "segments": 17206, "intersections": 10096},
+    "M2": {"area_sq_ml": 31.5, "segments": 53494, "intersections": 28465},
+    "M3": {"area_sq_ml": 42.03, "segments": 79487, "intersections": 42321},
+}
+
+SQ_KM_PER_SQ_ML = 2.58999
+
+
+def _build_all():
+    stats = {}
+    for name in ["D1"] + LARGE_NAMES:
+        network, __ = load_dataset(name, seed=3)
+        stats[name] = {
+            "area_sq_ml": network.area_km2() / SQ_KM_PER_SQ_ML,
+            "segments": network.n_segments,
+            "intersections": network.n_intersections,
+        }
+    return stats
+
+
+def test_table1_dataset_statistics(benchmark):
+    stats = benchmark.pedantic(_build_all, rounds=1, iterations=1)
+
+    rows = []
+    for name, rec in stats.items():
+        paper = _PAPER.get(name.replace("-small", ""), {})
+        rows.append(
+            [
+                name,
+                round(rec["area_sq_ml"], 2),
+                rec["segments"],
+                rec["intersections"],
+                paper.get("segments", "-"),
+                paper.get("intersections", "-"),
+            ]
+        )
+    print_table(
+        "Table 1: dataset statistics (ours vs paper)",
+        ["dataset", "area_sq_ml", "segments", "intersections", "paper_seg", "paper_int"],
+        rows,
+    )
+    save_results("table1_datasets", {"ours": stats, "paper": _PAPER})
+
+    # D1 analogue matches the paper's size class
+    assert 0.8 * _PAPER["D1"]["segments"] <= stats["D1"]["segments"] <= 1.2 * _PAPER["D1"]["segments"]
+    # M-networks strictly increase in size, as in the paper
+    sizes = [stats[name]["segments"] for name in LARGE_NAMES]
+    assert sizes == sorted(sizes) and sizes[0] < sizes[-1]
+    if FULL_SCALE:
+        for name in LARGE_NAMES:
+            paper_count = _PAPER[name]["segments"]
+            assert 0.7 * paper_count <= stats[name]["segments"] <= 1.3 * paper_count

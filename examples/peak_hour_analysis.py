@@ -1,0 +1,70 @@
+"""Peak-hour analysis: how congestion regions evolve over a morning.
+
+The paper motivates *repeated* partitioning at regular intervals: the
+congested core grows toward the rush-hour peak and dissolves after.
+This example simulates a 4-hour morning on the downtown network and
+uses the analysis layer to track the regions:
+
+* :class:`repro.analysis.PartitionTracker` repartitions each snapshot
+  and aligns the labels, reporting churn and density contrast;
+* :func:`repro.analysis.genealogy` classifies the structural changes
+  (continuations / splits / merges) between snapshots.
+
+Run:  python examples/peak_hour_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.genealogy import genealogy
+from repro.analysis.tracking import PartitionTracker
+from repro.datasets.small import small_network_series
+from repro.network.dual import build_road_graph
+
+K = 4
+SNAPSHOTS = (20, 40, 60, 71, 90, 110)
+SEED = 7
+
+
+def main() -> None:
+    network, series = small_network_series(seed=SEED)
+    graph = build_road_graph(network)
+    print(f"simulated {series.shape[0]} intervals on "
+          f"{network.n_segments} segments\n")
+
+    tracker = PartitionTracker(graph, k=K, scheme="ASG", seed=SEED)
+    tracker.run(series, timestamps=SNAPSHOTS)
+
+    print(f"{'t':>4} {'total veh/m':>12} {'max region':>11} "
+          f"{'min region':>11} {'contrast':>9} {'churn':>6}")
+    for record in tracker.records:
+        densities = series[record.t]
+        print(f"{record.t:>4} {densities.sum():>12.3f} "
+              f"{record.max_mean:>11.4f} "
+              f"{record.min_mean:>11.4f} "
+              f"{record.contrast:>9.4f} {record.churn:>6.2f}")
+
+    print("\nstructural changes between snapshots:")
+    labelings = [record.labels for record in tracker.records]
+    for (t_from, t_to), transition in zip(
+        zip(SNAPSHOTS, SNAPSHOTS[1:]), genealogy(labelings, threshold=0.6)
+    ):
+        events = []
+        if transition.splits:
+            events.append(f"splits {dict(transition.splits)}")
+        if transition.merges:
+            events.append(f"merges {dict(transition.merges)}")
+        if not events:
+            events.append(
+                f"{len(transition.continuations)} regions continue"
+            )
+        print(f"  t={t_from:>3} -> t={t_to:>3}: " + "; ".join(events))
+
+    print("\nThe contrast column peaks around the rush hour: regions are "
+          "most distinct when congestion is strongest, which is exactly "
+          "when congestion-aware traffic management pays off.")
+
+
+if __name__ == "__main__":
+    main()

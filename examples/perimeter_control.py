@@ -1,0 +1,97 @@
+"""Perimeter control: protecting the congested core with gating.
+
+The end-to-end traffic-management application the paper motivates:
+
+1. simulate an uncontrolled rush hour and partition the network by
+   its mean congestion;
+2. identify the busiest region and extract its MFD (flow vs
+   accumulation);
+3. re-run the same demand with a perimeter controller gating that
+   region at 60% of its uncontrolled peak accumulation;
+4. compare peaks, MFD tightness and trip throughput.
+
+Run:  python examples/perimeter_control.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.mfd import region_mfd
+from repro.control.perimeter import PerimeterController
+from repro.network.dual import build_road_graph
+from repro.network.generators import grid_network
+from repro.pipeline.schemes import run_scheme
+from repro.traffic.simulator import MicroSimulator
+
+K = 4
+SEED = 0
+N_VEHICLES = 800
+N_STEPS = 70
+
+
+def main() -> None:
+    network = grid_network(8, 8, spacing=100.0, two_way=True)
+    graph = build_road_graph(network)
+
+    # 1. uncontrolled run + congestion partitioning
+    free = MicroSimulator(network, seed=SEED).run(
+        n_vehicles=N_VEHICLES, n_steps=N_STEPS, centre_bias=4.0
+    )
+    mean_density = free.densities.mean(axis=0)
+    labels = run_scheme(
+        "ASG", graph.with_features(mean_density), K, seed=SEED
+    ).labels
+
+    # 2. the busiest region and its MFD
+    peaks = np.array(
+        [free.counts[:, labels == r].sum(axis=1).max() for r in range(K)]
+    )
+    busiest = int(np.argmax(peaks))
+    mfd_free = region_mfd(free, labels, busiest)
+    print(f"regions: {np.bincount(labels).tolist()} segments each")
+    print(f"busiest region: {busiest} "
+          f"(peak accumulation {peaks[busiest]:.0f} vehicles, "
+          f"MFD tightness {mfd_free.tightness():.3f})")
+
+    # 3. gated re-run
+    setpoint = 0.6 * peaks[busiest]
+    controller = PerimeterController(
+        graph.adjacency,
+        labels,
+        upper=setpoint,
+        protected=[busiest],
+        max_inflow_per_step=2,
+    )
+    gated = MicroSimulator(network, seed=SEED).run(
+        n_vehicles=N_VEHICLES, n_steps=N_STEPS, centre_bias=4.0,
+        gate=controller,
+    )
+    gated_peak = gated.counts[:, labels == busiest].sum(axis=1).max()
+    closed_steps = sum(1 for closed in controller.gate_history if closed)
+
+    # 4. report
+    print(f"\nperimeter control at setpoint {setpoint:.0f} vehicles:")
+    print(f"  peak accumulation : {peaks[busiest]:.0f} -> {gated_peak:.0f}")
+    print(f"  gate closed       : {closed_steps}/{N_STEPS} steps")
+    print(f"  trips completed   : {free.completed_trips} -> "
+          f"{gated.completed_trips}")
+    mfd_gated = region_mfd(gated, labels, busiest)
+    print(f"  MFD tightness     : {mfd_free.tightness():.3f} -> "
+          f"{mfd_gated.tightness():.3f}")
+
+    from repro.viz.charts import render_mfd
+    from repro.viz.svg import save_svg
+
+    save_svg(render_mfd(mfd_free, title="MFD: uncontrolled"), "mfd_free.svg")
+    save_svg(render_mfd(mfd_gated, title="MFD: perimeter controlled"),
+             "mfd_gated.svg")
+    print("  wrote mfd_free.svg / mfd_gated.svg")
+
+    print("\nGating holds the protected region below its jam regime at a "
+          "bounded throughput cost — the management action the "
+          "partitioning exists to enable.")
+
+
+if __name__ == "__main__":
+    main()

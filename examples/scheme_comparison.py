@@ -1,0 +1,60 @@
+"""Scheme comparison: alpha-Cut vs normalized cut vs Ji & Geroliminis.
+
+Reproduces the spirit of the paper's Table 2 interactively: runs every
+scheme on the same network over a k-range, reports each scheme's best
+(lowest) ANS with the k attaining it, and prints the full ANS curves
+so the trade-offs are visible.
+
+Run:  python examples/scheme_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import small_network
+from repro.network.dual import build_road_graph
+from repro.pipeline.schemes import SCHEMES, run_scheme
+
+K_RANGE = range(2, 13)
+N_RUNS = 3
+SEED = 7
+
+
+def main() -> None:
+    network, densities = small_network(seed=SEED)
+    graph = build_road_graph(network).with_features(densities)
+    print(f"comparing {len(SCHEMES)} schemes on {network.n_segments} "
+          f"segments, k = {K_RANGE.start}..{K_RANGE.stop - 1}, "
+          f"median of {N_RUNS} runs\n")
+
+    curves = {}
+    for scheme in SCHEMES:
+        curve = []
+        for k in K_RANGE:
+            values = [
+                run_scheme(scheme, graph, k, seed=seed).evaluate(graph)["ans"]
+                for seed in range(N_RUNS)
+            ]
+            curve.append(float(np.median(values)))
+        curves[scheme] = curve
+
+    header = "   k " + "".join(f"{s:>8}" for s in SCHEMES)
+    print(header)
+    for i, k in enumerate(K_RANGE):
+        row = f"{k:>4} " + "".join(f"{curves[s][i]:>8.3f}" for s in SCHEMES)
+        print(row)
+
+    print("\nbest (lowest) ANS per scheme:")
+    for scheme in SCHEMES:
+        curve = curves[scheme]
+        best = int(np.argmin(curve))
+        print(f"  {scheme:<4} ans={curve[best]:.4f} at k={list(K_RANGE)[best]}")
+
+    print("\npaper (Table 2, real Downtown San Francisco data): "
+          "AG 0.3392 @6, ASG 0.3526 @6, NG 0.9362 @8, Ji&Ger. 0.6210 @3 — "
+          "the alpha-Cut schemes win, as they should here.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim for environments whose pip cannot build wheels offline."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,102 @@
+"""repro — traffic congestion-based spatial partitioning of urban road networks.
+
+A complete reproduction of *Spatial Partitioning of Large Urban Road
+Networks* (Anwar, Liu, Leckie, Vu — EDBT 2014): the dual road-graph
+representation, road supergraph mining with the Moderated Clustering
+Gain, the k-way alpha-Cut spectral partitioner, the normalized-cut and
+Ji & Geroliminis baselines, the evaluation metrics, and the synthetic
+network/traffic substrates the experiments run on.
+
+Quickstart
+----------
+>>> from repro import SpatialPartitioningFramework, small_network
+>>> network, densities = small_network(seed=7)
+>>> framework = SpatialPartitioningFramework(k=6, scheme="ASG", seed=7)
+>>> result = framework.partition(network, densities)
+>>> sorted(result.evaluate(framework.last_road_graph))
+['ans', 'gdbi', 'inter', 'intra', 'k']
+"""
+
+from repro.analysis import PartitionTracker, partition_report
+from repro.baselines import (
+    JiGeroliminisPartitioner,
+    MultilevelPartitioner,
+    NcutPartitioner,
+    ncut_partition,
+)
+from repro.core import (
+    AlphaCutPartitioner,
+    alpha_cut_partition,
+    alpha_cut_value,
+    select_k_by_ans,
+    select_k_by_eigengap,
+)
+from repro.datasets import load_dataset, melbourne_like, small_network
+from repro.graph import Graph
+from repro.graph.affinity import congestion_affinity
+from repro.metrics import ans, gdbi, inter_metric, intra_metric
+from repro.network import (
+    RoadNetwork,
+    build_road_graph,
+    grid_network,
+    ring_radial_network,
+    urban_network,
+)
+from repro.pipeline import (
+    IncrementalRepartitioner,
+    PartitioningResult,
+    SpatialPartitioningFramework,
+    run_scheme,
+)
+from repro.supergraph import Supergraph, SupergraphBuilder, build_supergraph
+from repro.traffic import MicroSimulator, MNTGenerator, hotspot_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core contribution
+    "AlphaCutPartitioner",
+    "alpha_cut_partition",
+    "alpha_cut_value",
+    # framework
+    "SpatialPartitioningFramework",
+    "PartitioningResult",
+    "run_scheme",
+    "IncrementalRepartitioner",
+    "select_k_by_ans",
+    "select_k_by_eigengap",
+    # analysis
+    "PartitionTracker",
+    "partition_report",
+    # supergraph
+    "Supergraph",
+    "SupergraphBuilder",
+    "build_supergraph",
+    # baselines
+    "NcutPartitioner",
+    "ncut_partition",
+    "JiGeroliminisPartitioner",
+    "MultilevelPartitioner",
+    # graphs and networks
+    "Graph",
+    "congestion_affinity",
+    "RoadNetwork",
+    "build_road_graph",
+    "grid_network",
+    "ring_radial_network",
+    "urban_network",
+    # traffic
+    "MicroSimulator",
+    "MNTGenerator",
+    "hotspot_profile",
+    # metrics
+    "inter_metric",
+    "intra_metric",
+    "gdbi",
+    "ans",
+    # datasets
+    "small_network",
+    "melbourne_like",
+    "load_dataset",
+    "__version__",
+]

@@ -1,0 +1,79 @@
+"""Analysis tools on top of the partitioning framework.
+
+The paper motivates *repeated* partitioning at regular intervals to
+study "the congestion and its evolving nature with respect to time".
+This subpackage provides the analysis layer for that workflow:
+
+* :mod:`repro.analysis.tracking` — match partitions across
+  consecutive snapshots, measure churn, follow region trajectories;
+* :mod:`repro.analysis.boundary` — boundary segments between regions
+  and the region adjacency structure;
+* :mod:`repro.analysis.stats` — per-region congestion reports and
+  level-of-service classification.
+"""
+
+from repro.analysis.boundary import (
+    boundary_segments,
+    partition_neighbors,
+    boundary_sharpness,
+)
+from repro.analysis.consensus import (
+    coassociation_matrix,
+    consensus_partition,
+    stability_map,
+)
+from repro.analysis.flows import (
+    boundary_crossings,
+    internal_trip_share,
+    region_od_matrix,
+    through_traffic_share,
+)
+from repro.analysis.genealogy import (
+    Transition,
+    classify_transition,
+    genealogy,
+    overlap_matrix,
+)
+from repro.analysis.mfd import (
+    RegionMFD,
+    all_region_mfds,
+    mean_mfd_tightness,
+    region_mfd,
+)
+from repro.analysis.stats import (
+    CongestionLevel,
+    classify_level,
+    partition_report,
+)
+from repro.analysis.tracking import (
+    PartitionTracker,
+    churn,
+    match_partitions,
+)
+
+__all__ = [
+    "match_partitions",
+    "churn",
+    "PartitionTracker",
+    "boundary_segments",
+    "partition_neighbors",
+    "boundary_sharpness",
+    "coassociation_matrix",
+    "consensus_partition",
+    "stability_map",
+    "RegionMFD",
+    "region_mfd",
+    "all_region_mfds",
+    "mean_mfd_tightness",
+    "region_od_matrix",
+    "boundary_crossings",
+    "through_traffic_share",
+    "internal_trip_share",
+    "CongestionLevel",
+    "classify_level",
+    "partition_report",
+    "Transition",
+    "classify_transition",
+    "genealogy",
+    "overlap_matrix",
+]

@@ -1,0 +1,146 @@
+"""Consensus partitioning across time.
+
+Traffic operators often need one *static* region layout covering a
+whole period (e.g. the morning peak) even though the optimal
+partitioning drifts snapshot by snapshot. The standard ensemble
+solution is **co-association clustering**: count how often each
+adjacent segment pair lands in the same partition across the T
+snapshots, keep the pairs that agree at least a threshold fraction of
+the time, and take connected components — regions that were stable
+throughout the period. Components are then merged down to the target
+k with the same connectivity-aware merging the framework uses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.refine import repair_connectivity
+from repro.exceptions import PartitioningError
+from repro.graph.components import connected_components
+
+
+def coassociation_matrix(adjacency, labelings: Sequence) -> sp.csr_matrix:
+    """Fraction of snapshots agreeing per adjacent node pair.
+
+    Parameters
+    ----------
+    adjacency:
+        Road-graph adjacency (sparsity pattern defines which pairs are
+        scored — only spatial neighbours can ever join a region).
+    labelings:
+        Sequence of label vectors, one per snapshot.
+
+    Returns
+    -------
+    scipy.sparse.csr_matrix with entries in [0, 1] on the adjacency's
+    sparsity pattern.
+    """
+    adj = sp.csr_matrix(adjacency)
+    if not labelings:
+        raise PartitioningError("need at least one labeling")
+    mats = [np.asarray(lab, dtype=int) for lab in labelings]
+    n = adj.shape[0]
+    for lab in mats:
+        if lab.shape != (n,):
+            raise PartitioningError(
+                f"every labeling must have shape ({n},), got {lab.shape}"
+            )
+
+    coo = adj.tocoo()
+    agree = np.zeros(coo.data.size)
+    for lab in mats:
+        agree += lab[coo.row] == lab[coo.col]
+    agree /= len(mats)
+    return sp.csr_matrix((agree, (coo.row, coo.col)), shape=adj.shape)
+
+
+def consensus_partition(
+    adjacency,
+    labelings: Sequence,
+    k: Optional[int] = None,
+    agreement: float = 0.5,
+    method: str = "components",
+    seed=0,
+) -> np.ndarray:
+    """One static partitioning summarising T snapshots.
+
+    Parameters
+    ----------
+    adjacency:
+        Road-graph adjacency.
+    labelings:
+        Label vectors from the per-snapshot partitionings.
+    k:
+        Target number of regions; ``None`` accepts however many stable
+        components emerge (``method="components"`` only).
+    agreement:
+        Minimum fraction of snapshots two adjacent segments must agree
+        for their link to survive (``method="components"`` only;
+        0.5 = majority).
+    method:
+        ``"components"`` — threshold the co-association matrix and
+        take connected components, merging down to k along the
+        strongest links; sensitive to the threshold when partitions
+        drift. ``"alphacut"`` — run the alpha-Cut partitioner directly
+        on the co-association weights (requires ``k``); robust and
+        balanced, the recommended choice for drifting snapshots.
+    seed:
+        Seed for the alpha-Cut method's spectral stage.
+
+    Returns
+    -------
+    numpy.ndarray: consensus label per node, dense ids; every region
+    is spatially connected.
+    """
+    if method not in ("components", "alphacut"):
+        raise PartitioningError(
+            f"method must be 'components' or 'alphacut', got {method!r}"
+        )
+    if not 0.0 <= agreement <= 1.0:
+        raise PartitioningError(
+            f"agreement must be in [0, 1], got {agreement}"
+        )
+    coassoc = coassociation_matrix(adjacency, labelings)
+
+    if method == "alphacut":
+        if k is None:
+            raise PartitioningError("method='alphacut' requires k")
+        from repro.core.partitioner import AlphaCutPartitioner
+
+        weights = coassoc.copy()
+        weights.eliminate_zeros()
+        result = AlphaCutPartitioner(k, seed=seed).partition(weights)
+        return result.labels
+
+    # keep only sufficiently-stable links
+    mask = coassoc.copy()
+    mask.data = (mask.data >= agreement).astype(float)
+    mask.eliminate_zeros()
+
+    labels = connected_components(mask)
+    n_regions = int(labels.max()) + 1
+    if k is None or n_regions <= k:
+        return labels
+    # merge stable components down to k along the strongest
+    # co-association links (repair_connectivity's merge rule)
+    return repair_connectivity(coassoc, labels, k)
+
+
+def stability_map(adjacency, labelings: Sequence) -> np.ndarray:
+    """Per-node stability: mean agreement with its spatial neighbours.
+
+    1.0 means the node's whole neighbourhood stayed in its region at
+    every snapshot; low values flag segments that flap between
+    regions — the natural candidates for boundary buffers.
+    """
+    coassoc = coassociation_matrix(adjacency, labelings)
+    degree = np.asarray((coassoc != 0).sum(axis=1)).ravel()
+    sums = np.asarray(coassoc.sum(axis=1)).ravel()
+    out = np.divide(
+        sums, degree, out=np.ones_like(sums), where=degree > 0
+    )
+    return out

@@ -1,0 +1,108 @@
+"""Inter-region flow analysis from routed trips.
+
+Once the network is partitioned, the next management question is how
+demand moves *between* the regions: which region pairs exchange the
+most vehicles, how much traffic merely passes through a region, and
+what share of each region's demand is internal. These quantities come
+straight from the routed trips (the demand), independent of how the
+simulation resolves congestion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.traffic.mntg import Trajectory
+
+
+def _check(labels, n_segments_hint: int = 0) -> np.ndarray:
+    lab = np.asarray(labels, dtype=int)
+    if lab.ndim != 1 or lab.size == 0:
+        raise DataError("labels must be a non-empty 1-D vector")
+    if lab.min() < 0:
+        raise DataError("labels must be non-negative")
+    return lab
+
+
+def region_od_matrix(trips: Sequence[Trajectory], labels) -> np.ndarray:
+    """Trips per (origin region, destination region).
+
+    Origin/destination are the regions of each trip's first and last
+    road segment.
+    """
+    lab = _check(labels)
+    k = int(lab.max()) + 1
+    out = np.zeros((k, k), dtype=int)
+    for trip in trips:
+        if not trip.segments:
+            continue
+        origin = int(lab[trip.segments[0]])
+        dest = int(lab[trip.segments[-1]])
+        out[origin, dest] += 1
+    return out
+
+
+def boundary_crossings(trips: Sequence[Trajectory], labels) -> Dict[Tuple[int, int], int]:
+    """Directed region-boundary crossings along all routes.
+
+    ``out[(a, b)]`` counts route steps passing from region a to region
+    b — the load each perimeter gate would face.
+    """
+    lab = _check(labels)
+    out: Dict[Tuple[int, int], int] = {}
+    for trip in trips:
+        for u, v in zip(trip.segments, trip.segments[1:]):
+            a, b = int(lab[u]), int(lab[v])
+            if a != b:
+                out[(a, b)] = out.get((a, b), 0) + 1
+    return out
+
+
+def through_traffic_share(trips: Sequence[Trajectory], labels, region: int) -> float:
+    """Share of a region's route visits that merely pass through.
+
+    A trip *passes through* when it traverses segments of ``region``
+    but neither starts nor ends there. Returns passes / (passes +
+    trips touching the region that start or end in it); 0.0 when no
+    trip touches the region.
+    """
+    lab = _check(labels)
+    if not 0 <= region <= int(lab.max()):
+        raise DataError(f"region {region} out of range")
+    passes = 0
+    anchored = 0
+    for trip in trips:
+        if not trip.segments:
+            continue
+        touches = any(lab[s] == region for s in trip.segments)
+        if not touches:
+            continue
+        starts_or_ends = (
+            lab[trip.segments[0]] == region or lab[trip.segments[-1]] == region
+        )
+        if starts_or_ends:
+            anchored += 1
+        else:
+            passes += 1
+    total = passes + anchored
+    return passes / total if total else 0.0
+
+
+def internal_trip_share(trips: Sequence[Trajectory], labels) -> np.ndarray:
+    """Per-region share of trips that start *and* end inside it.
+
+    High values mean the region is self-contained (a good management
+    unit); low values mean it mostly serves exchange traffic.
+    """
+    lab = _check(labels)
+    k = int(lab.max()) + 1
+    od = region_od_matrix(trips, lab)
+    out = np.zeros(k)
+    for region in range(k):
+        touching = od[region].sum() + od[:, region].sum() - od[region, region]
+        if touching > 0:
+            out[region] = od[region, region] / touching
+    return out

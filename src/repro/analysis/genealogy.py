@@ -1,0 +1,158 @@
+"""Region genealogy: how congestion regions evolve between snapshots.
+
+Matching (``repro.analysis.tracking``) aligns labels one-to-one, but
+real region evolution is richer: a growing jam *absorbs* its
+neighbours, a dissolving one *splits*. This module classifies the
+transitions between two consecutive partitionings from their overlap
+matrix:
+
+* **continuation** — one old region maps to one new region (dominant
+  overlap both ways);
+* **split** — one old region contributes dominantly to several new
+  regions;
+* **merge** — several old regions contribute dominantly to one new
+  region;
+* regions can also **appear** (no dominant parent) or **disappear**
+  (no dominant child).
+
+The per-pair "dominant" relation uses a containment threshold: old
+region a is a *parent* of new region b when their overlap covers at
+least ``threshold`` of b (and vice versa for children).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import PartitioningError
+
+
+@dataclass
+class Transition:
+    """Classified transitions between two consecutive partitionings.
+
+    Attributes
+    ----------
+    continuations:
+        Pairs (old, new) in one-to-one correspondence.
+    splits:
+        Map old region -> the new regions it split into.
+    merges:
+        Map new region -> the old regions that merged into it.
+    appeared:
+        New regions without any dominant parent.
+    disappeared:
+        Old regions without any dominant child.
+    """
+
+    continuations: List[Tuple[int, int]] = field(default_factory=list)
+    splits: Dict[int, List[int]] = field(default_factory=dict)
+    merges: Dict[int, List[int]] = field(default_factory=dict)
+    appeared: List[int] = field(default_factory=list)
+    disappeared: List[int] = field(default_factory=list)
+
+
+def overlap_matrix(previous, current) -> np.ndarray:
+    """Node-count overlap between old regions (rows) and new (columns)."""
+    prev = np.asarray(previous, dtype=int)
+    cur = np.asarray(current, dtype=int)
+    if prev.shape != cur.shape:
+        raise PartitioningError(
+            f"label vectors must have equal shape, got {prev.shape} vs {cur.shape}"
+        )
+    if prev.size == 0:
+        raise PartitioningError("empty labelings")
+    n_prev = int(prev.max()) + 1
+    n_cur = int(cur.max()) + 1
+    out = np.zeros((n_prev, n_cur), dtype=int)
+    np.add.at(out, (prev, cur), 1)
+    return out
+
+
+def classify_transition(
+    previous, current, threshold: float = 0.5
+) -> Transition:
+    """Classify the evolution from ``previous`` to ``current`` labels.
+
+    Parameters
+    ----------
+    previous, current:
+        Label vectors over the same node set.
+    threshold:
+        Containment fraction in (0.5, 1.0] making a parent/child
+        relation dominant. Values at or below 0.5 could make two
+        parents dominant for one child; 0.5 (exclusive) is the
+        natural lower bound and the default uses just above it.
+
+    Notes
+    -----
+    An old region with exactly one dominant child whose child has
+    exactly one dominant parent is a continuation; one-to-many are
+    splits, many-to-one merges. Relations below the threshold are
+    ignored (boundary churn, not structural change).
+    """
+    if not 0.5 <= threshold <= 1.0:
+        raise PartitioningError(
+            f"threshold must be in [0.5, 1.0], got {threshold}"
+        )
+    overlap = overlap_matrix(previous, current)
+    n_prev, n_cur = overlap.shape
+    prev_sizes = overlap.sum(axis=1)
+    cur_sizes = overlap.sum(axis=0)
+
+    # children[a]: new regions drawing >= threshold of themselves from a
+    children: Dict[int, List[int]] = {a: [] for a in range(n_prev)}
+    parents: Dict[int, List[int]] = {b: [] for b in range(n_cur)}
+    for a in range(n_prev):
+        for b in range(n_cur):
+            if overlap[a, b] == 0:
+                continue
+            covers_child = overlap[a, b] / max(cur_sizes[b], 1)
+            covers_parent = overlap[a, b] / max(prev_sizes[a], 1)
+            if covers_child >= threshold:
+                parents[b].append(a)
+            if covers_parent >= threshold:
+                children[a].append(b)
+
+    transition = Transition()
+    for a in range(n_prev):
+        dominant_children = [
+            b for b in range(n_cur) if parents[b] and parents[b][0] == a
+            and len(parents[b]) == 1
+        ]
+        if len(children[a]) == 1 and len(dominant_children) == 1:
+            b = children[a][0]
+            if dominant_children[0] == b:
+                transition.continuations.append((a, b))
+                continue
+        if len(dominant_children) >= 2:
+            transition.splits[a] = sorted(dominant_children)
+            continue
+        if not children[a] and not dominant_children:
+            transition.disappeared.append(a)
+
+    for b in range(n_cur):
+        contributing = [
+            a for a in range(n_prev) if children[a] == [b]
+        ]
+        if len(contributing) >= 2:
+            transition.merges[b] = sorted(contributing)
+        elif not parents[b] and all(
+            b not in kids for kids in transition.splits.values()
+        ) and all(b != nb for (__, nb) in transition.continuations):
+            transition.appeared.append(b)
+    return transition
+
+
+def genealogy(labelings: Sequence, threshold: float = 0.5) -> List[Transition]:
+    """Transitions between each consecutive pair of labelings."""
+    labelings = list(labelings)
+    if len(labelings) < 2:
+        raise PartitioningError("genealogy needs at least two labelings")
+    return [
+        classify_transition(labelings[i], labelings[i + 1], threshold)
+        for i in range(len(labelings) - 1)
+    ]

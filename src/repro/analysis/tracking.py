@@ -1,0 +1,200 @@
+"""Tracking partitions across time.
+
+Partition ids produced by spectral clustering are arbitrary, so two
+snapshots of the same evolving congestion pattern get unrelated label
+values. :func:`match_partitions` aligns a new labelling to a reference
+via greedy maximum overlap; :func:`churn` quantifies how many segments
+changed region; :class:`PartitionTracker` runs the full repeated
+partitioning loop over a density time series and reports region
+trajectories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import PartitioningError
+from repro.graph.adjacency import Graph
+from repro.pipeline.schemes import run_scheme
+from repro.util.rng import RngLike
+
+
+def match_partitions(reference, labels) -> np.ndarray:
+    """Relabel ``labels`` to maximise overlap with ``reference``.
+
+    Greedy assignment on the contingency table: repeatedly match the
+    (reference id, label id) pair with the largest remaining overlap.
+    Label ids with no match left (when the new labelling has more
+    partitions) keep fresh ids above the reference range.
+
+    Parameters
+    ----------
+    reference, labels:
+        Integer label vectors of equal length.
+
+    Returns
+    -------
+    numpy.ndarray: ``labels`` rewritten in the reference's id space.
+    """
+    ref = np.asarray(reference, dtype=int)
+    lab = np.asarray(labels, dtype=int)
+    if ref.shape != lab.shape:
+        raise PartitioningError(
+            f"label vectors must have equal shape, got {ref.shape} vs {lab.shape}"
+        )
+    if ref.size == 0:
+        return lab.copy()
+    n_ref = int(ref.max()) + 1
+    n_lab = int(lab.max()) + 1
+
+    overlap = np.zeros((n_ref, n_lab), dtype=int)
+    np.add.at(overlap, (ref, lab), 1)
+
+    mapping: Dict[int, int] = {}
+    used_ref: set = set()
+    work = overlap.copy()
+    for __ in range(min(n_ref, n_lab)):
+        a, b = np.unravel_index(int(np.argmax(work)), work.shape)
+        if work[a, b] <= 0:
+            break
+        mapping[int(b)] = int(a)
+        used_ref.add(int(a))
+        work[a, :] = -1
+        work[:, b] = -1
+
+    next_id = n_ref
+    out = np.empty_like(lab)
+    for b in range(n_lab):
+        if b not in mapping:
+            mapping[b] = next_id
+            next_id += 1
+    for i, b in enumerate(lab):
+        out[i] = mapping[int(b)]
+    return out
+
+
+def churn(previous, current) -> float:
+    """Fraction of segments whose region changed between two snapshots.
+
+    Both labellings must already live in the same id space — align the
+    current one with :func:`match_partitions` first.
+    """
+    prev = np.asarray(previous, dtype=int)
+    cur = np.asarray(current, dtype=int)
+    if prev.shape != cur.shape:
+        raise PartitioningError(
+            f"label vectors must have equal shape, got {prev.shape} vs {cur.shape}"
+        )
+    if prev.size == 0:
+        return 0.0
+    return float((prev != cur).mean())
+
+
+@dataclass
+class SnapshotRecord:
+    """One timestamp of a tracked partitioning run."""
+
+    t: int
+    labels: np.ndarray
+    churn: float
+    region_means: np.ndarray
+
+    @property
+    def contrast(self) -> float:
+        """Spread between the most and least congested regions.
+
+        Region ids can be sparse after cross-snapshot matching (a
+        region that disappeared leaves a gap); absent ids carry NaN
+        means and are ignored here.
+        """
+        finite = self.region_means[np.isfinite(self.region_means)]
+        if finite.size == 0:
+            return 0.0
+        return float(finite.max() - finite.min())
+
+    @property
+    def max_mean(self) -> float:
+        """Mean density of the most congested region (NaN-safe)."""
+        finite = self.region_means[np.isfinite(self.region_means)]
+        return float(finite.max()) if finite.size else 0.0
+
+    @property
+    def min_mean(self) -> float:
+        """Mean density of the least congested region (NaN-safe)."""
+        finite = self.region_means[np.isfinite(self.region_means)]
+        return float(finite.min()) if finite.size else 0.0
+
+
+@dataclass
+class PartitionTracker:
+    """Repeated partitioning over a density time series.
+
+    Parameters
+    ----------
+    graph:
+        The road graph (densities are swapped per snapshot).
+    k:
+        Number of partitions per snapshot.
+    scheme:
+        Partitioning scheme (default the scalable ``"ASG"``).
+    seed:
+        Reproducibility seed, reused per snapshot so differences stem
+        from the data, not the solver.
+    """
+
+    graph: Graph
+    k: int
+    scheme: str = "ASG"
+    seed: RngLike = 0
+    records: List[SnapshotRecord] = field(default_factory=list)
+
+    def observe(self, t: int, densities: Sequence[float]) -> SnapshotRecord:
+        """Partition snapshot ``t`` and append the aligned record."""
+        densities = np.asarray(densities, dtype=float)
+        g_t = self.graph.with_features(densities)
+        result = run_scheme(self.scheme, g_t, self.k, seed=self.seed)
+        labels = result.labels
+
+        if self.records:
+            labels = match_partitions(self.records[-1].labels, labels)
+            moved = churn(self.records[-1].labels, labels)
+        else:
+            moved = 0.0
+
+        n_regions = int(labels.max()) + 1
+        means = np.full(n_regions, np.nan)
+        for i in np.unique(labels):
+            means[i] = densities[labels == i].mean()
+        record = SnapshotRecord(t=t, labels=labels, churn=moved, region_means=means)
+        self.records.append(record)
+        return record
+
+    def run(self, series, timestamps: Optional[Sequence[int]] = None) -> List[SnapshotRecord]:
+        """Observe every requested timestamp of a (T x n) density series."""
+        series = np.asarray(series, dtype=float)
+        if series.ndim != 2:
+            raise PartitioningError(f"series must be 2-D, got shape {series.shape}")
+        if timestamps is None:
+            timestamps = range(series.shape[0])
+        for t in timestamps:
+            self.observe(int(t), series[t])
+        return self.records
+
+    def churn_series(self) -> np.ndarray:
+        """Churn value per observed snapshot (first is 0)."""
+        return np.array([r.churn for r in self.records])
+
+    def contrast_series(self) -> np.ndarray:
+        """Region density contrast per observed snapshot."""
+        return np.array([r.contrast for r in self.records])
+
+    def region_trajectory(self, region: int) -> np.ndarray:
+        """Mean density of ``region`` across snapshots (NaN when absent)."""
+        out = np.full(len(self.records), np.nan)
+        for i, record in enumerate(self.records):
+            if region < record.region_means.size:
+                out[i] = record.region_means[region]
+        return out

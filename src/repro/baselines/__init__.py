@@ -1,0 +1,39 @@
+"""Baseline partitioning methods the paper compares against.
+
+* :mod:`repro.baselines.ncut` — normalized cut spectral partitioning
+  (Shi & Malik 2000), the NG/NSG schemes;
+* :mod:`repro.baselines.ji_geroliminis` — the three-step method of Ji
+  & Geroliminis (2012): Ncut over-partitioning, small-partition
+  merging, boundary adjustment;
+* :mod:`repro.baselines.modularity` — White & Smyth (2005) spectral
+  modularity maximisation, whose matrix is the negative of the
+  alpha-Cut matrix (used as a cross-check);
+* :mod:`repro.baselines.multilevel` — METIS-style multilevel
+  partitioner with Kernighan-Lin refinement (the related-work
+  heuristic family);
+* :mod:`repro.baselines.kmeans_only` — density-only clustering with
+  no spatial constraints (what Section 3 argues against).
+"""
+
+from repro.baselines.ji_geroliminis import JiGeroliminisPartitioner
+from repro.baselines.kernighan_lin import cut_weight, kernighan_lin_refine
+from repro.baselines.kmeans_only import kmeans_only_partition, spatial_fragmentation
+from repro.baselines.modularity import modularity_value, spectral_modularity_partition
+from repro.baselines.multilevel import MultilevelPartitioner
+from repro.baselines.ncut import NcutPartitioner, ncut_partition, ncut_value
+from repro.baselines.region_growing import RegionGrowingPartitioner
+
+__all__ = [
+    "NcutPartitioner",
+    "ncut_partition",
+    "ncut_value",
+    "JiGeroliminisPartitioner",
+    "spectral_modularity_partition",
+    "modularity_value",
+    "MultilevelPartitioner",
+    "RegionGrowingPartitioner",
+    "kernighan_lin_refine",
+    "cut_weight",
+    "kmeans_only_partition",
+    "spatial_fragmentation",
+]

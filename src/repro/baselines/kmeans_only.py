@@ -1,0 +1,48 @@
+"""Density-only k-means "partitioning" (no spatial constraints).
+
+The paper's Section 3 argues that "traditional clustering algorithms
+do not take care of the associated spatial connectivities" — grouping
+segments purely by density produces clusters that are scattered across
+the map, violating condition C.2. This baseline makes that argument
+measurable: it clusters densities with 1-D k-means and, optionally,
+splits the clusters into connected components afterwards (showing how
+many spatial pieces a naive clustering shatters into).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.clustering.kmeans import kmeans_1d
+from repro.exceptions import PartitioningError
+from repro.graph.adjacency import Graph
+from repro.graph.components import constrained_components
+
+
+def kmeans_only_partition(graph: Graph, k: int) -> np.ndarray:
+    """Cluster segments purely by density (spatially unconstrained)."""
+    if not isinstance(graph, Graph):
+        raise PartitioningError("kmeans_only_partition expects a road Graph")
+    if not 1 <= k <= graph.n_nodes:
+        raise PartitioningError(
+            f"need 1 <= k <= {graph.n_nodes}, got k={k}"
+        )
+    return kmeans_1d(np.asarray(graph.features), k).labels
+
+
+def spatial_fragmentation(graph: Graph, k: int) -> Tuple[np.ndarray, int]:
+    """How badly density-only clustering violates spatial connectivity.
+
+    Returns
+    -------
+    (labels, n_pieces):
+        The k-means labels and the number of connected components the
+        k clusters shatter into — ``n_pieces == k`` would mean the
+        naive clustering happened to be spatially valid; real road
+        networks give n_pieces >> k.
+    """
+    labels = kmeans_only_partition(graph, k)
+    comp = constrained_components(graph.adjacency, labels)
+    return labels, int(comp.max()) + 1

@@ -1,0 +1,152 @@
+"""Seeded region growing ("snake"-style) partitioning.
+
+The MFD literature that followed Ji & Geroliminis (e.g. Saeedmanesh &
+Geroliminis 2016) grows congestion regions directly: start from k seed
+segments spread across the density spectrum, then repeatedly attach
+the unassigned boundary segment whose density is closest to the mean
+of the region it touches. Regions are connected by construction, no
+eigendecomposition is needed, and the result is a strong greedy
+baseline for the spectral methods.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import PartitioningError
+from repro.graph.adjacency import Graph
+from repro.util.rng import RngLike, ensure_rng
+
+
+class RegionGrowingPartitioner:
+    """Greedy density-similarity region growing.
+
+    Parameters
+    ----------
+    k:
+        Number of regions.
+    balance:
+        Weight in [0, 1] discouraging size imbalance: the attachment
+        priority is ``|f - mean_region| + balance * region_share``.
+        0 grows purely by similarity (can produce one giant region on
+        smooth fields); modest values (default 0.05) keep regions
+        comparable without dominating similarity.
+    seed:
+        Reproducibility seed (tie-breaking among equal seeds).
+
+    Notes
+    -----
+    Seeds are the segments whose densities sit at the k quantile
+    midpoints of the density distribution, spread spatially by
+    preferring candidates far from already-chosen seeds. Growth uses a
+    priority queue keyed by the attachment cost; each pop either
+    attaches a segment or discards a stale entry, so the total work is
+    O(E log E).
+    """
+
+    def __init__(self, k: int, balance: float = 0.05, seed: RngLike = None) -> None:
+        if k < 1:
+            raise PartitioningError(f"k must be positive, got {k}")
+        if not 0.0 <= balance <= 1.0:
+            raise PartitioningError(f"balance must be in [0, 1], got {balance}")
+        self._k = int(k)
+        self._balance = float(balance)
+        self._seed = seed
+
+    def partition(self, graph: Graph) -> np.ndarray:
+        """Partition the road ``graph``; returns node labels 0..k-1.
+
+        Raises when the graph has fewer nodes than k. Disconnected
+        graphs are handled per component (each component grows its own
+        share of regions when it holds a seed; stranded components
+        attach to the globally nearest-density region id).
+        """
+        if not isinstance(graph, Graph):
+            raise PartitioningError(
+                "RegionGrowingPartitioner operates on a road Graph"
+            )
+        n = graph.n_nodes
+        if self._k > n:
+            raise PartitioningError(
+                f"cannot split {n} nodes into k={self._k} regions"
+            )
+        rng = ensure_rng(self._seed)
+        feats = np.asarray(graph.features, dtype=float)
+        adj = graph.adjacency
+        indptr, indices = adj.indptr, adj.indices
+
+        seeds = self._pick_seeds(feats, adj, rng)
+        labels = np.full(n, -1, dtype=int)
+        sums = np.zeros(self._k)
+        sizes = np.zeros(self._k, dtype=int)
+        heap: List[Tuple[float, int, int, int]] = []
+        counter = 0
+
+        def push_neighbours(node: int, region: int) -> None:
+            nonlocal counter
+            mean = sums[region] / sizes[region]
+            for v in indices[indptr[node] : indptr[node + 1]]:
+                if labels[v] == -1:
+                    cost = abs(feats[v] - mean) + self._balance * (
+                        sizes[region] / n
+                    )
+                    heapq.heappush(heap, (cost, counter, int(v), region))
+                    counter += 1
+
+        for region, seed_node in enumerate(seeds):
+            labels[seed_node] = region
+            sums[region] += feats[seed_node]
+            sizes[region] += 1
+        for region, seed_node in enumerate(seeds):
+            push_neighbours(seed_node, region)
+
+        assigned = self._k
+        while heap and assigned < n:
+            __, __, node, region = heapq.heappop(heap)
+            if labels[node] != -1:
+                continue  # stale entry
+            labels[node] = region
+            sums[region] += feats[node]
+            sizes[region] += 1
+            assigned += 1
+            push_neighbours(node, region)
+
+        # stranded nodes (components without a seed): nearest density
+        if assigned < n:
+            means = sums / np.maximum(sizes, 1)
+            for node in np.flatnonzero(labels == -1):
+                labels[node] = int(np.argmin(np.abs(means - feats[node])))
+        return labels
+
+    def _pick_seeds(
+        self, feats: np.ndarray, adj: sp.csr_matrix, rng: np.random.Generator
+    ) -> List[int]:
+        """k seeds at density-quantile midpoints, spread spatially."""
+        n = feats.size
+        order = np.argsort(feats, kind="stable")
+        seeds: List[int] = []
+        taken = np.zeros(n, dtype=bool)
+        for j in range(self._k):
+            lo = int(j * n / self._k)
+            hi = max(int((j + 1) * n / self._k), lo + 1)
+            chunk = order[lo:hi]
+            candidates = chunk[~taken[chunk]]
+            if candidates.size == 0:
+                candidates = np.flatnonzero(~taken)
+            # prefer a candidate not adjacent to existing seeds
+            rng.shuffle(candidates)
+            choice = int(candidates[0])
+            for cand in candidates:
+                neighbours = adj.indices[
+                    adj.indptr[cand] : adj.indptr[cand + 1]
+                ]
+                if not any(taken[v] for v in neighbours):
+                    choice = int(cand)
+                    break
+            seeds.append(choice)
+            taken[choice] = True
+        return seeds

@@ -1,0 +1,313 @@
+"""Command-line interface: ``repro-partition`` / ``python -m repro``.
+
+Subcommands
+-----------
+``partition``
+    Partition a dataset (built-in name or a JSON network file) with a
+    chosen scheme and print the per-partition summary plus metrics.
+``datasets``
+    List the built-in datasets with their sizes.
+``simulate``
+    Run the microsimulator on a built-in network and write the density
+    series to CSV.
+``compare``
+    Run every scheme at one k on the same dataset and print a metric
+    comparison table.
+``sweep``
+    Run one scheme over a k-range and write the metric curves as CSV.
+``export``
+    Partition a dataset and write the result as SVG and/or GeoJSON.
+``analyze``
+    Partition a dataset and print the management view: per-region
+    level-of-service reports, boundary sharpness, and critical
+    segments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.datasets.registry import dataset_names, load_dataset
+from repro.network.dual import build_road_graph
+from repro.network.io import load_network_json, save_density_series
+from repro.pipeline.framework import SpatialPartitioningFramework
+from repro.pipeline.schemes import SCHEMES, run_scheme
+from repro.traffic.simulator import MicroSimulator
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-partition",
+        description="Congestion-based spatial partitioning of urban road networks",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    part = sub.add_parser("partition", help="partition a road network")
+    part.add_argument(
+        "dataset",
+        help=f"built-in dataset name ({', '.join(dataset_names())}) "
+        "or path to a network JSON file",
+    )
+    part.add_argument("-k", type=int, default=6, help="number of partitions")
+    part.add_argument(
+        "--scheme", choices=SCHEMES, default="ASG", help="partitioning scheme"
+    )
+    part.add_argument("--seed", type=int, default=0, help="random seed")
+    part.add_argument(
+        "--stability",
+        type=float,
+        default=0.0,
+        help="supernode stability threshold epsilon_eta in [0, 1]",
+    )
+    part.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    part.add_argument(
+        "--labels-out", default=None, help="write per-segment labels to this CSV"
+    )
+
+    data = sub.add_parser("datasets", help="list built-in datasets")
+    data.add_argument(
+        "names",
+        nargs="*",
+        help="subset of dataset names to report (default: all; the "
+        "full M1-M3 presets take a while to generate)",
+    )
+
+    sim = sub.add_parser("simulate", help="run the microsimulator")
+    sim.add_argument("dataset", help="built-in dataset name")
+    sim.add_argument("--vehicles", type=int, default=1500)
+    sim.add_argument("--steps", type=int, default=120)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--out", required=True, help="density series CSV path")
+
+    comp = sub.add_parser("compare", help="compare all schemes at one k")
+    comp.add_argument("dataset", help="built-in dataset name")
+    comp.add_argument("-k", type=int, default=6)
+    comp.add_argument("--seed", type=int, default=0)
+    comp.add_argument(
+        "--runs", type=int, default=3, help="runs per scheme (median reported)"
+    )
+
+    sweep = sub.add_parser("sweep", help="metric curves over a k-range")
+    sweep.add_argument("dataset", help="built-in dataset name")
+    sweep.add_argument("--scheme", choices=SCHEMES, default="ASG")
+    sweep.add_argument("--k-min", type=int, default=2)
+    sweep.add_argument("--k-max", type=int, default=12)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--out", required=True, help="CSV output path")
+
+    exp = sub.add_parser("export", help="partition and export SVG/GeoJSON")
+    exp.add_argument("dataset", help="built-in dataset name")
+    exp.add_argument("-k", type=int, default=6)
+    exp.add_argument("--scheme", choices=SCHEMES, default="ASG")
+    exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument("--svg", default=None, help="SVG output path")
+    exp.add_argument("--geojson", default=None, help="GeoJSON output path")
+
+    ana = sub.add_parser("analyze", help="region reports and boundaries")
+    ana.add_argument("dataset", help="built-in dataset name")
+    ana.add_argument("-k", type=int, default=6)
+    ana.add_argument("--scheme", choices=SCHEMES, default="ASG")
+    ana.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    if args.dataset in dataset_names():
+        network, densities = load_dataset(args.dataset, seed=args.seed)
+    else:
+        network = load_network_json(args.dataset)
+        densities = network.densities()
+
+    framework = SpatialPartitioningFramework(
+        k=args.k,
+        scheme=args.scheme,
+        epsilon_eta=args.stability,
+        seed=args.seed,
+    )
+    result = framework.partition(network, densities)
+    metrics = result.evaluate(framework.last_road_graph)
+    validation = result.validate(framework.last_road_graph)
+
+    if args.labels_out:
+        np.savetxt(args.labels_out, result.labels, fmt="%d")
+
+    if args.json:
+        payload = {
+            "dataset": args.dataset,
+            "scheme": args.scheme,
+            "k": result.k,
+            "metrics": metrics,
+            "sizes": result.partition_sizes().tolist(),
+            "timings": result.timings,
+            "connected": validation.is_valid,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    print(f"dataset     : {args.dataset}")
+    print(f"scheme      : {args.scheme}")
+    print(f"segments    : {network.n_segments}")
+    print(f"partitions  : {result.k}")
+    if result.n_supernodes is not None:
+        print(f"supernodes  : {result.n_supernodes}")
+    print(f"sizes       : {result.partition_sizes().tolist()}")
+    print(f"connected   : {'yes' if validation.is_valid else 'NO'}")
+    for name in ("inter", "intra", "gdbi", "ans"):
+        print(f"{name:<12}: {metrics[name]:.4f}")
+    for module, seconds in result.timings.items():
+        print(f"{module:<12}: {seconds:.3f}s")
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    names = args.names or dataset_names()
+    unknown = [n for n in names if n not in dataset_names()]
+    if unknown:
+        print(f"unknown datasets: {', '.join(unknown)}")
+        return 1
+    for name in names:
+        network, __ = load_dataset(name)
+        print(
+            f"{name:<10} segments={network.n_segments:<7} "
+            f"intersections={network.n_intersections:<7} "
+            f"area={network.area_km2():.1f} km^2"
+        )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    network, __ = load_dataset(args.dataset, seed=args.seed)
+    simulator = MicroSimulator(network, seed=args.seed)
+    result = simulator.run(n_vehicles=args.vehicles, n_steps=args.steps)
+    save_density_series(result.densities, args.out)
+    print(
+        f"wrote {result.n_steps} x {network.n_segments} densities to {args.out} "
+        f"({result.completed_trips} trips completed)"
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    network, densities = load_dataset(args.dataset, seed=args.seed)
+    graph = build_road_graph(network).with_features(densities)
+
+    print(f"{'scheme':<6} {'inter':>8} {'intra':>8} {'gdbi':>9} {'ans':>8}")
+    for scheme in SCHEMES:
+        metrics = []
+        for seed in range(args.runs):
+            result = run_scheme(scheme, graph, args.k, seed=seed)
+            metrics.append(result.evaluate(graph))
+        med = {
+            name: float(np.median([m[name] for m in metrics]))
+            for name in ("inter", "intra", "gdbi", "ans")
+        }
+        print(
+            f"{scheme:<6} {med['inter']:>8.4f} {med['intra']:>8.4f} "
+            f"{med['gdbi']:>9.4f} {med['ans']:>8.4f}"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.k_min < 1 or args.k_max < args.k_min:
+        print("invalid k range")
+        return 1
+    network, densities = load_dataset(args.dataset, seed=args.seed)
+    graph = build_road_graph(network).with_features(densities)
+
+    with open(args.out, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["k", "inter", "intra", "gdbi", "ans"])
+        for k in range(args.k_min, args.k_max + 1):
+            result = run_scheme(args.scheme, graph, k, seed=args.seed)
+            metrics = result.evaluate(graph)
+            writer.writerow(
+                [k] + [f"{metrics[m]:.6f}" for m in ("inter", "intra", "gdbi", "ans")]
+            )
+    print(f"wrote {args.k_max - args.k_min + 1} rows to {args.out}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    if not args.svg and not args.geojson:
+        print("nothing to do: pass --svg and/or --geojson")
+        return 1
+    network, densities = load_dataset(args.dataset, seed=args.seed)
+    framework = SpatialPartitioningFramework(
+        k=args.k, scheme=args.scheme, seed=args.seed
+    )
+    result = framework.partition(network, densities)
+
+    if args.svg:
+        from repro.viz.svg import render_partitions, save_svg
+
+        svg = render_partitions(
+            network, result.labels, title=f"{args.dataset} k={result.k}"
+        )
+        save_svg(svg, args.svg)
+        print(f"wrote {args.svg}")
+    if args.geojson:
+        from repro.network.geojson import network_to_geojson, save_geojson
+
+        doc = network_to_geojson(
+            network, labels=result.labels, densities=densities
+        )
+        save_geojson(doc, args.geojson)
+        print(f"wrote {args.geojson}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.boundary import boundary_sharpness
+    from repro.analysis.stats import partition_report
+    from repro.graph.critical import critical_segments
+
+    network, densities = load_dataset(args.dataset, seed=args.seed)
+    graph = build_road_graph(network).with_features(densities)
+    result = run_scheme(args.scheme, graph, args.k, seed=args.seed)
+
+    print(f"{args.dataset}: {result.k} regions via {args.scheme}\n")
+    print("regions:")
+    for report in partition_report(network, result.labels, densities):
+        print(f"  {report}")
+
+    print("\nboundaries (mean density step, sharpest first):")
+    sharp = boundary_sharpness(densities, result.labels, graph.adjacency)
+    for (a, b), step in sorted(sharp.items(), key=lambda kv: -kv[1]):
+        print(f"  regions {a} <-> {b}: {step:.4f} veh/m")
+
+    critical = critical_segments(graph.adjacency, result.labels)
+    print(f"\ncritical segments (closure splits a region): "
+          f"{critical.size} of {network.n_segments}")
+    if critical.size:
+        preview = ", ".join(str(s) for s in critical[:12])
+        suffix = ", ..." if critical.size > 12 else ""
+        print(f"  ids: {preview}{suffix}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "partition": _cmd_partition,
+        "datasets": _cmd_datasets,
+        "simulate": _cmd_simulate,
+        "compare": _cmd_compare,
+        "sweep": _cmd_sweep,
+        "export": _cmd_export,
+        "analyze": _cmd_analyze,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

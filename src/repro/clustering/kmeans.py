@@ -1,0 +1,224 @@
+"""k-means clustering, from scratch.
+
+Two variants:
+
+* :func:`kmeans_1d` — the paper's variant for single-dimension feature
+  values (traffic densities): values are sorted and the j-th cluster
+  mean is initialised with the value at position ``n/kappa * j``,
+  removing the randomness of standard seeding (Section 4.1);
+* :func:`kmeans` — standard Lloyd's algorithm with k-means++ seeding
+  for multi-dimensional data (row-normalised eigenvectors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ClusteringError
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of a k-means run.
+
+    Attributes
+    ----------
+    labels:
+        Cluster index per data item, in ``0..kappa-1``.
+    centers:
+        Cluster means, shape (kappa, d) — or (kappa,) for 1-D input.
+    inertia:
+        Sum of squared distances of items to their cluster mean.
+    n_iter:
+        Lloyd iterations executed before convergence/cutoff.
+    """
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    n_iter: int
+
+    @property
+    def kappa(self) -> int:
+        """Number of clusters."""
+        return int(self.centers.shape[0])
+
+
+def _validate_kappa(n: int, kappa: int) -> None:
+    if kappa < 1:
+        raise ClusteringError(f"kappa must be positive, got {kappa}")
+    if kappa > n:
+        raise ClusteringError(f"kappa={kappa} exceeds number of items n={n}")
+
+
+def kmeans_1d(
+    values: Sequence[float],
+    kappa: int,
+    max_iter: int = 100,
+    tol: float = 1e-9,
+) -> KMeansResult:
+    """1-D k-means with deterministic sorted equal-interval seeding.
+
+    Parameters
+    ----------
+    values:
+        Feature values (traffic densities), any order.
+    kappa:
+        Number of clusters.
+    max_iter, tol:
+        Lloyd iteration cutoff and convergence tolerance on the total
+        movement of cluster means.
+
+    Notes
+    -----
+    Because the data is one-dimensional, optimal cluster boundaries are
+    thresholds between sorted consecutive means, so assignment is done
+    with :func:`numpy.searchsorted` in O(n log kappa) per iteration.
+    Empty clusters are re-seeded with the value farthest from its mean.
+    """
+    data = np.asarray(values, dtype=float).ravel()
+    n = data.size
+    _validate_kappa(n, kappa)
+    if not np.isfinite(data).all():
+        raise ClusteringError("values must be finite")
+
+    order = np.argsort(data, kind="stable")
+    sorted_vals = data[order]
+
+    # initialise means at equal intervals of the sorted values:
+    # mean_j = sorted[i], i = floor(n/kappa * j) centred in each chunk
+    positions = (np.arange(kappa) + 0.5) * n / kappa
+    centers = sorted_vals[np.clip(positions.astype(int), 0, n - 1)].astype(float)
+
+    labels = np.zeros(n, dtype=int)
+    n_iter = 0
+    for n_iter in range(1, max_iter + 1):
+        centers = np.sort(centers)
+        # boundaries halfway between consecutive means
+        bounds = (centers[:-1] + centers[1:]) / 2.0
+        labels = np.searchsorted(bounds, data, side="left")
+
+        new_centers = centers.copy()
+        counts = np.bincount(labels, minlength=kappa)
+        sums = np.bincount(labels, weights=data, minlength=kappa)
+        nonempty = counts > 0
+        new_centers[nonempty] = sums[nonempty] / counts[nonempty]
+
+        # re-seed empty clusters with the worst-represented value
+        if not nonempty.all():
+            residuals = np.abs(data - new_centers[labels])
+            for q in np.flatnonzero(~nonempty):
+                far = int(np.argmax(residuals))
+                new_centers[q] = data[far]
+                residuals[far] = -1.0
+
+        shift = float(np.abs(new_centers - centers).sum())
+        centers = new_centers
+        if shift <= tol:
+            break
+
+    centers = np.sort(centers)
+    bounds = (centers[:-1] + centers[1:]) / 2.0
+    labels = np.searchsorted(bounds, data, side="left")
+    inertia = float(((data - centers[labels]) ** 2).sum())
+    return KMeansResult(labels=labels, centers=centers, inertia=inertia, n_iter=n_iter)
+
+
+def _kmeanspp_init(
+    data: np.ndarray, kappa: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centers by squared distance."""
+    n = data.shape[0]
+    centers = np.empty((kappa, data.shape[1]))
+    first = int(rng.integers(n))
+    centers[0] = data[first]
+    closest = ((data - centers[0]) ** 2).sum(axis=1)
+    for j in range(1, kappa):
+        total = closest.sum()
+        if total <= 0:
+            centers[j:] = data[rng.integers(n, size=kappa - j)]
+            break
+        probs = closest / total
+        idx = int(rng.choice(n, p=probs))
+        centers[j] = data[idx]
+        closest = np.minimum(closest, ((data - centers[j]) ** 2).sum(axis=1))
+    return centers
+
+
+def kmeans(
+    data,
+    kappa: int,
+    max_iter: int = 100,
+    tol: float = 1e-9,
+    n_init: int = 1,
+    seed: RngLike = None,
+) -> KMeansResult:
+    """Standard n-D k-means (Lloyd's algorithm, k-means++ seeding).
+
+    Parameters
+    ----------
+    data:
+        Array-like of shape (n, d).
+    kappa:
+        Number of clusters.
+    n_init:
+        Number of restarts; the run with the lowest inertia wins.
+    seed:
+        Reproducibility seed.
+    """
+    arr = np.asarray(data, dtype=float)
+    if arr.ndim == 1:
+        arr = arr[:, np.newaxis]
+    if arr.ndim != 2:
+        raise ClusteringError(f"data must be 2-D, got shape {arr.shape}")
+    n = arr.shape[0]
+    _validate_kappa(n, kappa)
+    if not np.isfinite(arr).all():
+        raise ClusteringError("data must be finite")
+    if n_init < 1:
+        raise ClusteringError(f"n_init must be positive, got {n_init}")
+    rng = ensure_rng(seed)
+
+    best: Optional[KMeansResult] = None
+    for __ in range(n_init):
+        centers = _kmeanspp_init(arr, kappa, rng)
+        labels = np.zeros(n, dtype=int)
+        n_iter = 0
+        for n_iter in range(1, max_iter + 1):
+            # assignment step
+            d2 = ((arr[:, np.newaxis, :] - centers[np.newaxis, :, :]) ** 2).sum(axis=2)
+            labels = d2.argmin(axis=1)
+
+            # update step
+            new_centers = centers.copy()
+            counts = np.bincount(labels, minlength=kappa)
+            for q in range(kappa):
+                if counts[q] > 0:
+                    new_centers[q] = arr[labels == q].mean(axis=0)
+            # re-seed empty clusters at the farthest point
+            if (counts == 0).any():
+                dist_own = ((arr - new_centers[labels]) ** 2).sum(axis=1)
+                for q in np.flatnonzero(counts == 0):
+                    far = int(np.argmax(dist_own))
+                    new_centers[q] = arr[far]
+                    dist_own[far] = -1.0
+
+            shift = float(np.abs(new_centers - centers).sum())
+            centers = new_centers
+            if shift <= tol:
+                break
+
+        d2 = ((arr[:, np.newaxis, :] - centers[np.newaxis, :, :]) ** 2).sum(axis=2)
+        labels = d2.argmin(axis=1)
+        inertia = float(d2[np.arange(n), labels].sum())
+        candidate = KMeansResult(
+            labels=labels, centers=centers, inertia=inertia, n_iter=n_iter
+        )
+        if best is None or candidate.inertia < best.inertia:
+            best = candidate
+    assert best is not None
+    return best

@@ -1,0 +1,125 @@
+"""Exact 1-D k-means by dynamic programming.
+
+Lloyd's algorithm (even with the paper's deterministic seeding) only
+finds a local optimum. In one dimension the globally optimal k-means
+clustering is computable exactly: optimal clusters are contiguous
+ranges of the sorted values, so the problem reduces to optimal
+segmentation, solved by DP with divide-and-conquer speedup —
+O(κ n log n) time, O(n) extra space per layer (the classic
+"ckmeans.1d.dp" construction of Wang & Song 2011).
+
+Used as a drop-in alternative to :func:`repro.clustering.kmeans.kmeans_1d`
+and in the ablation bench quantifying how close the paper's seeded
+Lloyd's gets to the true optimum on density data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.kmeans import KMeansResult
+from repro.exceptions import ClusteringError
+
+
+class _SegmentCost:
+    """O(1) SSE of any sorted-range segment via prefix sums."""
+
+    def __init__(self, sorted_values: np.ndarray) -> None:
+        self._prefix = np.concatenate(([0.0], np.cumsum(sorted_values)))
+        self._prefix2 = np.concatenate(([0.0], np.cumsum(sorted_values**2)))
+
+    def sse(self, i: int, j: int) -> float:
+        """Sum of squared deviations of values[i..j] (inclusive)."""
+        count = j - i + 1
+        total = self._prefix[j + 1] - self._prefix[i]
+        total2 = self._prefix2[j + 1] - self._prefix2[i]
+        return max(total2 - total * total / count, 0.0)
+
+    def mean(self, i: int, j: int) -> float:
+        return (self._prefix[j + 1] - self._prefix[i]) / (j - i + 1)
+
+
+def kmeans_1d_optimal(values, kappa: int) -> KMeansResult:
+    """Globally optimal 1-D k-means (exact, deterministic).
+
+    Parameters
+    ----------
+    values:
+        Feature values, any order.
+    kappa:
+        Number of clusters.
+
+    Returns
+    -------
+    :class:`repro.clustering.kmeans.KMeansResult` with the minimum
+    possible inertia over *all* assignments into kappa clusters.
+
+    Notes
+    -----
+    Runs layer by layer: ``D[q][j]`` is the optimal cost of clustering
+    the first j+1 sorted values into q+1 clusters. Each layer is
+    filled by divide and conquer over j, exploiting that the optimal
+    split point is monotone in j — O(n log n) per layer.
+    """
+    data = np.asarray(values, dtype=float).ravel()
+    n = data.size
+    if kappa < 1:
+        raise ClusteringError(f"kappa must be positive, got {kappa}")
+    if kappa > n:
+        raise ClusteringError(f"kappa={kappa} exceeds number of items n={n}")
+    if not np.isfinite(data).all():
+        raise ClusteringError("values must be finite")
+
+    order = np.argsort(data, kind="stable")
+    x = data[order]
+    cost = _SegmentCost(x)
+
+    # D[j] = optimal cost for x[0..j] with the current number of clusters;
+    # split[q][j] = first index of the last cluster in that optimum.
+    d_prev = np.array([cost.sse(0, j) for j in range(n)])
+    splits = np.zeros((kappa, n), dtype=int)
+
+    for q in range(1, kappa):
+        d_cur = np.full(n, np.inf)
+
+        def solve(j_lo: int, j_hi: int, i_lo: int, i_hi: int) -> None:
+            """Fill d_cur[j_lo..j_hi] knowing optimal splits lie in
+            [i_lo, i_hi] (monotone split-point divide and conquer)."""
+            if j_lo > j_hi:
+                return
+            j_mid = (j_lo + j_hi) // 2
+            best_cost, best_i = np.inf, max(i_lo, q)
+            upper = min(i_hi, j_mid)
+            for i in range(max(i_lo, q), upper + 1):
+                trial = d_prev[i - 1] + cost.sse(i, j_mid)
+                if trial < best_cost:
+                    best_cost, best_i = trial, i
+            d_cur[j_mid] = best_cost
+            splits[q][j_mid] = best_i
+            solve(j_lo, j_mid - 1, i_lo, best_i)
+            solve(j_mid + 1, j_hi, best_i, i_hi)
+
+        solve(q, n - 1, q, n - 1)
+        d_prev = d_cur
+
+    # backtrack cluster boundaries
+    boundaries = []
+    j = n - 1
+    for q in range(kappa - 1, 0, -1):
+        i = splits[q][j]
+        boundaries.append(i)
+        j = i - 1
+    boundaries.reverse()  # ascending first-index of clusters 1..kappa-1
+
+    sorted_labels = np.zeros(n, dtype=int)
+    starts = [0] + boundaries + [n]
+    centers = np.empty(kappa)
+    for c in range(kappa):
+        lo, hi = starts[c], starts[c + 1] - 1
+        sorted_labels[lo : hi + 1] = c
+        centers[c] = cost.mean(lo, hi)
+
+    labels = np.empty(n, dtype=int)
+    labels[order] = sorted_labels
+    inertia = float(d_prev[n - 1])
+    return KMeansResult(labels=labels, centers=centers, inertia=inertia, n_iter=1)

@@ -1,0 +1,15 @@
+"""Traffic control built on the partitioning — the paper's end use.
+
+The point of congestion-based partitioning ("the traffic management
+decisions for each sub-network need to reflect these differences") is
+region-level control. This subpackage provides the canonical
+application from the MFD literature:
+
+* :mod:`repro.control.perimeter` — perimeter (gating) control that
+  meters vehicles entering a protected region when its accumulation
+  exceeds a setpoint.
+"""
+
+from repro.control.perimeter import PerimeterController, region_entry_segments
+
+__all__ = ["PerimeterController", "region_entry_segments"]

@@ -1,0 +1,53 @@
+"""The paper's primary contribution: the k-way alpha-Cut partitioner.
+
+* :mod:`repro.core.alpha_cut` — the alpha-Cut objective (Equation 5)
+  and its matrix form M (Equation 6);
+* :mod:`repro.core.spectral` — the spectral relaxation (Algorithm 3,
+  lines 1-11): eigenvectors of the k smallest eigenvalues of M,
+  row-normalisation, k-means, connected-component extraction;
+* :mod:`repro.core.refine` — global recursive bipartitioning of the
+  partition-connectivity matrix (Algorithm 3, lines 12-24) and the
+  greedy-pruning alternative;
+* :mod:`repro.core.partitioner` — the user-facing
+  :class:`AlphaCutPartitioner`.
+"""
+
+from repro.core.alpha_cut import (
+    alpha_cut_value,
+    alpha_vector,
+    cut_value,
+    association_value,
+)
+from repro.core.boundary_refine import boundary_refine
+from repro.core.model_selection import (
+    KSelection,
+    select_k_by_ans,
+    select_k_by_eigengap,
+)
+from repro.core.partitioner import AlphaCutPartitioner, alpha_cut_partition
+from repro.core.refine import (
+    greedy_prune,
+    partition_connectivity_matrix,
+    recursive_bipartition,
+    repair_connectivity,
+)
+from repro.core.spectral import spectral_embedding, spectral_partition
+
+__all__ = [
+    "alpha_cut_value",
+    "alpha_vector",
+    "cut_value",
+    "association_value",
+    "spectral_embedding",
+    "spectral_partition",
+    "partition_connectivity_matrix",
+    "recursive_bipartition",
+    "greedy_prune",
+    "repair_connectivity",
+    "boundary_refine",
+    "AlphaCutPartitioner",
+    "alpha_cut_partition",
+    "KSelection",
+    "select_k_by_ans",
+    "select_k_by_eigengap",
+]

@@ -1,0 +1,115 @@
+"""Boundary refinement: local post-processing of any partitioning.
+
+Ji & Geroliminis follow their normalized-cut stage with a boundary
+adjustment step, and the paper credits it with improving their
+partitions beyond plain NG. The same idea applies to *any* labelling,
+so it is exposed here as a standalone refinement: sweep the boundary
+segments and move each to an adjacent partition when that brings its
+density strictly closer to the destination's mean, unless the move
+would disconnect or empty the partition it leaves. Used by the
+``test_ablation_boundary.py`` bench to quantify what the adjustment
+buys each scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import PartitioningError
+from repro.graph.components import is_connected
+
+
+def boundary_refine(
+    adjacency,
+    features,
+    labels,
+    max_sweeps: int = 10,
+    min_improvement: float = 0.0,
+) -> np.ndarray:
+    """Move boundary nodes to better-matching adjacent partitions.
+
+    Parameters
+    ----------
+    adjacency:
+        Road-graph adjacency (symmetric sparse/dense).
+    features:
+        Per-node densities.
+    labels:
+        Starting partition labels (dense ids).
+    max_sweeps:
+        Maximum full passes over the nodes; stops early when a sweep
+        moves nothing.
+    min_improvement:
+        A move requires the density gap to the destination mean to be
+        smaller than the gap to the current mean by more than this
+        amount (0 = any strict improvement).
+
+    Returns
+    -------
+    numpy.ndarray: refined labels; partition count and connectivity
+    are preserved.
+    """
+    adj = sp.csr_matrix(adjacency)
+    feats = np.asarray(features, dtype=float)
+    lab = np.asarray(labels, dtype=int).copy()
+    n = adj.shape[0]
+    if feats.shape != (n,):
+        raise PartitioningError(
+            f"features must have shape ({n},), got {feats.shape}"
+        )
+    if lab.shape != (n,):
+        raise PartitioningError(f"labels must have shape ({n},), got {lab.shape}")
+    if max_sweeps < 0:
+        raise PartitioningError(f"max_sweeps must be >= 0, got {max_sweeps}")
+    if min_improvement < 0:
+        raise PartitioningError(
+            f"min_improvement must be >= 0, got {min_improvement}"
+        )
+
+    k = int(lab.max()) + 1
+    sizes = np.bincount(lab, minlength=k).astype(float)
+    sums = np.bincount(lab, weights=feats, minlength=k)
+    indptr, indices = adj.indptr, adj.indices
+
+    for __ in range(max_sweeps):
+        moved = 0
+        for u in range(n):
+            current = int(lab[u])
+            if sizes[current] <= 1:
+                continue  # never empty a partition
+            neighbour_parts = {
+                int(lab[v])
+                for v in indices[indptr[u] : indptr[u + 1]]
+                if lab[v] != current
+            }
+            if not neighbour_parts:
+                continue
+
+            mean_cur = sums[current] / sizes[current]
+            gap_cur = abs(feats[u] - mean_cur)
+            best_part, best_gap = current, gap_cur
+            for p in neighbour_parts:
+                mean_p = sums[p] / sizes[p]
+                gap = abs(feats[u] - mean_p)
+                if gap < best_gap - min_improvement:
+                    best_part, best_gap = p, gap
+            if best_part == current:
+                continue
+
+            remaining = np.flatnonzero(lab == current)
+            remaining = remaining[remaining != u]
+            if remaining.size and not is_connected(adj, remaining):
+                continue  # the move would disconnect the source
+
+            lab[u] = best_part
+            sizes[current] -= 1
+            sums[current] -= feats[u]
+            sizes[best_part] += 1
+            sums[best_part] += feats[u]
+            moved += 1
+        if moved == 0:
+            break
+    return lab

@@ -1,0 +1,22 @@
+"""Ready-made datasets mirroring the paper's evaluation networks.
+
+* :func:`small_network` — the D1 analogue (Downtown San Francisco,
+  ~420 directed segments) with microsimulated densities;
+* :func:`melbourne_like` — M1/M2/M3 analogues (17k/53k/80k segments)
+  with hotspot-profile (default) or MNTG-generated densities;
+* :func:`load_dataset` — a string registry used by the benchmark
+  harness (``"D1"``, ``"M1"``, ``"M2"``, ``"M3"``, and the scaled
+  ``"M1-small"`` etc. variants used to keep bench runtimes sane).
+"""
+
+from repro.datasets.large import melbourne_like
+from repro.datasets.registry import DATASETS, dataset_names, load_dataset
+from repro.datasets.small import small_network
+
+__all__ = [
+    "small_network",
+    "melbourne_like",
+    "load_dataset",
+    "dataset_names",
+    "DATASETS",
+]

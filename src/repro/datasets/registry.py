@@ -1,0 +1,52 @@
+"""String registry of evaluation datasets.
+
+Used by the benchmark harness and the CLI so experiments can name
+their data: ``"D1"`` for the small network, ``"M1"/"M2"/"M3"`` for the
+paper-scale large networks, and ``"M1-small"`` etc. for quarter-scale
+variants that keep the benchmark suite runnable in minutes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.datasets.large import melbourne_like
+from repro.datasets.small import small_network
+from repro.exceptions import DataError
+from repro.network.model import RoadNetwork
+
+BENCH_SIZE_FACTOR = 0.25
+
+DATASETS: Dict[str, Callable[..., Tuple[RoadNetwork, np.ndarray]]] = {
+    "D1": lambda seed=0: small_network(seed=seed),
+    "M1": lambda seed=0: melbourne_like("M1", seed=seed),
+    "M2": lambda seed=0: melbourne_like("M2", seed=seed),
+    "M3": lambda seed=0: melbourne_like("M3", seed=seed),
+    "M1-small": lambda seed=0: melbourne_like(
+        "M1", size_factor=BENCH_SIZE_FACTOR, seed=seed
+    ),
+    "M2-small": lambda seed=0: melbourne_like(
+        "M2", size_factor=BENCH_SIZE_FACTOR, seed=seed
+    ),
+    "M3-small": lambda seed=0: melbourne_like(
+        "M3", size_factor=BENCH_SIZE_FACTOR, seed=seed
+    ),
+}
+
+
+def dataset_names() -> List[str]:
+    """Names accepted by :func:`load_dataset`."""
+    return sorted(DATASETS)
+
+
+def load_dataset(name: str, seed: int = 0) -> Tuple[RoadNetwork, np.ndarray]:
+    """Build the named dataset; returns ``(network, densities)``."""
+    try:
+        builder = DATASETS[name]
+    except KeyError:
+        raise DataError(
+            f"unknown dataset {name!r}; pick one of {dataset_names()}"
+        ) from None
+    return builder(seed=seed)

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NetworkError(ReproError):
+    """Raised when a road network is malformed or inconsistent."""
+
+
+class GraphError(ReproError):
+    """Raised when a graph operation receives an invalid graph."""
+
+
+class ClusteringError(ReproError):
+    """Raised when a clustering routine cannot produce a valid result."""
+
+
+class PartitioningError(ReproError):
+    """Raised when graph partitioning fails or is infeasible.
+
+    Typical causes: requesting more partitions than nodes, an empty
+    graph, or an eigensolver failure that cannot be recovered from.
+    """
+
+
+class DataError(ReproError):
+    """Raised when traffic or density data is missing or inconsistent."""

@@ -1,0 +1,169 @@
+"""Symmetric Lanczos eigensolver, from scratch.
+
+The paper offloads its dominant cost — eigendecomposition of the
+alpha-Cut matrix — to a high-performance block-reduction eigensolver
+(Dongarra, Sorensen & Hammarling 1989, via Matlab). This module is the
+in-house equivalent: the symmetric Lanczos iteration with full
+reorthogonalisation, reducing a matrix-free operator to a small
+tridiagonal matrix whose Ritz pairs approximate the extremal
+eigenpairs. Extremal eigenvalues converge first, which is exactly what
+spectral partitioning needs (the k smallest of M).
+
+ARPACK (:func:`scipy.sparse.linalg.eigsh`) remains the default
+production path; this implementation exists so the whole pipeline can
+run without it and to make the algorithm inspectable/testable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError
+from repro.util.rng import RngLike, ensure_rng
+
+
+def _as_matvec(operator) -> Tuple[Callable[[np.ndarray], np.ndarray], int]:
+    """Normalise matrices / LinearOperators to a matvec callable."""
+    if sp.issparse(operator) or isinstance(operator, np.ndarray):
+        matrix = sp.csr_matrix(operator) if sp.issparse(operator) else np.asarray(operator)
+        n = matrix.shape[0]
+        if matrix.shape != (n, n):
+            raise GraphError(f"operator must be square, got {matrix.shape}")
+        return (lambda x: matrix @ x), n
+    if hasattr(operator, "matvec") and hasattr(operator, "shape"):
+        n = operator.shape[0]
+        if operator.shape != (n, n):
+            raise GraphError(f"operator must be square, got {operator.shape}")
+        return operator.matvec, n
+    raise GraphError(
+        f"operator must be an array, sparse matrix or LinearOperator, "
+        f"got {type(operator).__name__}"
+    )
+
+
+def lanczos_tridiagonalize(
+    operator,
+    m: int,
+    seed: RngLike = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run ``m`` Lanczos steps with full reorthogonalisation.
+
+    Parameters
+    ----------
+    operator:
+        Symmetric matrix / LinearOperator of shape (n, n).
+    m:
+        Krylov subspace dimension (1 <= m <= n).
+    seed:
+        Seed for the random start vector.
+
+    Returns
+    -------
+    (alphas, betas, basis):
+        Tridiagonal diagonal (m,), off-diagonal (m-1,), and the
+        orthonormal Lanczos basis Q of shape (n, m). The iteration
+        stops early on (numerical) invariant subspaces, in which case
+        the returned arrays are shorter than requested.
+    """
+    matvec, n = _as_matvec(operator)
+    if not 1 <= m <= n:
+        raise GraphError(f"need 1 <= m <= n={n}, got m={m}")
+    rng = ensure_rng(seed)
+
+    q = rng.normal(size=n)
+    q /= np.linalg.norm(q)
+    basis = [q]
+    alphas = []
+    betas = []
+
+    for j in range(m):
+        w = matvec(basis[j])
+        alpha = float(basis[j] @ w)
+        alphas.append(alpha)
+        w = w - alpha * basis[j]
+        if j > 0:
+            w = w - betas[j - 1] * basis[j - 1]
+        # full reorthogonalisation against the whole basis (twice is
+        # enough, per the classic "twice is enough" result)
+        for __ in range(2):
+            for vec in basis:
+                w -= (vec @ w) * vec
+        beta = float(np.linalg.norm(w))
+        if j == m - 1:
+            break
+        if beta < 1e-12:
+            break  # invariant subspace found
+        betas.append(beta)
+        basis.append(w / beta)
+
+    return (
+        np.asarray(alphas),
+        np.asarray(betas[: len(alphas) - 1]),
+        np.column_stack(basis[: len(alphas)]),
+    )
+
+
+def lanczos_smallest(
+    operator,
+    k: int,
+    m: Optional[int] = None,
+    seed: RngLike = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The k algebraically smallest eigenpairs via Lanczos.
+
+    Parameters
+    ----------
+    operator:
+        Symmetric matrix / LinearOperator.
+    k:
+        Number of smallest eigenpairs wanted.
+    m:
+        Krylov dimension; default ``min(n, max(10k, 100))`` — the
+        outermost Ritz values converge first, and this dimension keeps
+        the later of the k values accurate on graph-scale spectra with
+        clustered eigenvalues.
+    seed:
+        Start-vector seed (fixed default for reproducibility).
+
+    Returns
+    -------
+    (values, vectors): ascending eigenvalues (k,) and Ritz vectors
+    (n, k) with unit norm.
+    """
+    matvec, n = _as_matvec(operator)
+    if not 1 <= k <= n:
+        raise GraphError(f"need 1 <= k <= n={n}, got k={k}")
+    if m is None:
+        m = min(n, max(10 * k, 100))
+    if m < k:
+        raise GraphError(f"Krylov dimension m={m} must be >= k={k}")
+
+    alphas, betas, basis = lanczos_tridiagonalize(operator, m, seed=seed)
+    if alphas.size < k:
+        # invariant subspace smaller than k: fall back to dense on the
+        # projected problem plus deflated restarts is overkill here —
+        # the graphs we meet are connected, so just solve densely.
+        dense = _densify_operator(matvec, n)
+        values, vectors = np.linalg.eigh(dense)
+        return values[:k], vectors[:, :k]
+
+    tri = np.diag(alphas)
+    if betas.size:
+        tri += np.diag(betas, 1) + np.diag(betas, -1)
+    ritz_values, ritz_vectors = np.linalg.eigh(tri)
+    values = ritz_values[:k]
+    vectors = basis @ ritz_vectors[:, :k]
+    # normalise (rounding can shave the norm slightly)
+    vectors /= np.linalg.norm(vectors, axis=0, keepdims=True)
+    return values, vectors
+
+
+def _densify_operator(matvec, n: int) -> np.ndarray:
+    out = np.empty((n, n))
+    eye = np.eye(n)
+    for i in range(n):
+        out[:, i] = matvec(eye[:, i])
+    return out

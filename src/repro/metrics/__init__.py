@@ -1,0 +1,50 @@
+"""Evaluation metrics for road-network partitionings (paper Section 6.2).
+
+* :func:`inter_metric` / :func:`intra_metric` — average inter-partition
+  heterogeneity (higher better) and intra-partition homogeneity
+  (lower better) in density space;
+* :func:`gdbi` — graph Davies-Bouldin index restricted to spatially
+  adjacent partitions (lower better);
+* :func:`ans` — average NcutSilhouette (Ji & Geroliminis), lower
+  better;
+* :mod:`repro.metrics.partition_quality` — cost of partitioning,
+  partition volume, modularity;
+* :mod:`repro.metrics.validation` — the C.1/C.2 feasibility checks.
+"""
+
+from repro.metrics.ans import ans, ncut_silhouette
+from repro.metrics.conductance import conductance, expansion, max_conductance
+from repro.metrics.distances import (
+    inter_metric,
+    intra_metric,
+    mean_abs_cross,
+    mean_abs_pairwise,
+)
+from repro.metrics.gdbi import gdbi
+from repro.metrics.partition_quality import (
+    cost_of_partitioning,
+    partition_volume,
+)
+from repro.metrics.validation import (
+    check_cover,
+    check_connectivity,
+    validate_partitioning,
+)
+
+__all__ = [
+    "inter_metric",
+    "intra_metric",
+    "mean_abs_pairwise",
+    "mean_abs_cross",
+    "gdbi",
+    "ans",
+    "ncut_silhouette",
+    "conductance",
+    "expansion",
+    "max_conductance",
+    "cost_of_partitioning",
+    "partition_volume",
+    "check_cover",
+    "check_connectivity",
+    "validate_partitioning",
+]

@@ -1,0 +1,95 @@
+"""Average NcutSilhouette (ANS) — Ji & Geroliminis (2012).
+
+A silhouette-style measure in density space, defined for partition
+evaluation: for every node v in partition P_i,
+
+* ``a(v)`` — the mean squared density difference between v and the
+  other members of P_i (within-partition dissimilarity);
+* ``b(v)`` — the mean squared density difference between v and the
+  members of the partitions spatially adjacent to P_i
+  (between-partition dissimilarity);
+
+the NcutSilhouette of P_i is the mean of ``a(v) / b(v)`` over its
+members, and ANS is the mean over all partitions. Small values mean
+partitions are internally tight relative to how different they are
+from their neighbours — lower is better, and its minimum over k is the
+paper's criterion for the optimal number of partitions.
+
+Squared differences let both a(v) and b(v) be computed from first and
+second moments of each partition, so the whole metric runs in O(n + E)
+instead of O(n^2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.exceptions import PartitioningError
+from repro.metrics.distances import _check, adjacent_partition_pairs
+
+# b(v) values below this are treated as zero between-partition contrast
+_EPS = 1e-12
+
+
+def ncut_silhouette(features, labels, adjacency, partition: int) -> float:
+    """NcutSilhouette NS(P_i) of a single partition (lower is better)."""
+    values = _silhouettes(features, labels, adjacency)
+    if not 0 <= partition < len(values):
+        raise PartitioningError(
+            f"partition {partition} out of range for k={len(values)}"
+        )
+    return values[partition]
+
+
+def ans(features, labels, adjacency) -> float:
+    """Average NcutSilhouette over all partitions (lower is better)."""
+    values = _silhouettes(features, labels, adjacency)
+    return float(np.mean(values))
+
+
+def _silhouettes(features, labels, adjacency) -> List[float]:
+    feats, lab, k = _check(features, labels)
+
+    sizes = np.bincount(lab, minlength=k).astype(float)
+    sums = np.bincount(lab, weights=feats, minlength=k)
+    sums2 = np.bincount(lab, weights=feats**2, minlength=k)
+    if (sizes == 0).any():
+        raise PartitioningError("labels contain empty partitions")
+
+    neighbours: Dict[int, List[int]] = {i: [] for i in range(k)}
+    for i, j in adjacent_partition_pairs(adjacency, lab):
+        neighbours[i].append(j)
+        neighbours[j].append(i)
+
+    out: List[float] = []
+    for i in range(k):
+        members = feats[lab == i]
+        n_i = members.size
+
+        # a(v): mean (f_v - f_u)^2 over u in P_i \ {v}
+        if n_i > 1:
+            a = (
+                members**2
+                - 2.0 * members * (sums[i] - members) / (n_i - 1)
+                + (sums2[i] - members**2) / (n_i - 1)
+            )
+        else:
+            a = np.zeros(1)
+
+        nb = neighbours[i]
+        if not nb:
+            out.append(0.0)  # no adjacent partition: nothing to contrast
+            continue
+        n_b = sizes[nb].sum()
+        sum_b = sums[nb].sum()
+        sum2_b = sums2[nb].sum()
+        # b(v): mean (f_v - f_u)^2 over u in the adjacent partitions
+        b = members**2 - 2.0 * members * sum_b / n_b + sum2_b / n_b
+
+        ratios = np.where(
+            b > _EPS, a / np.maximum(b, _EPS), np.where(a <= _EPS, 0.0, a / _EPS)
+        )
+        out.append(float(ratios.mean()))
+    return out

@@ -1,0 +1,75 @@
+"""Conductance and expansion of partitions.
+
+Standard cut-quality measures from the community-detection literature
+(the paper's Section 7 cites the Leskovec et al. WWW 2010 comparison,
+which popularised conductance as the reference measure):
+
+* conductance of P_i: ``cut(P_i) / min(vol(P_i), vol(~P_i))`` where
+  vol is the sum of degrees — lower means a better-separated region;
+* expansion of P_i: ``cut(P_i) / min(|P_i|, |~P_i|)`` — cut edges per
+  node on the smaller side.
+
+Both are reported per partition and as the maximum over partitions
+(the usual "worst cluster" summary).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import PartitioningError
+
+
+def _per_partition_cut_and_volume(adjacency, labels) -> Tuple[np.ndarray, ...]:
+    adj = sp.csr_matrix(adjacency, dtype=float)
+    lab = np.asarray(labels, dtype=int)
+    if lab.shape != (adj.shape[0],):
+        raise PartitioningError(
+            f"labels must have shape ({adj.shape[0]},), got {lab.shape}"
+        )
+    if lab.size == 0:
+        raise PartitioningError("empty partitioning")
+    k = int(lab.max()) + 1
+    degrees = np.asarray(adj.sum(axis=1)).ravel()
+    volume = np.bincount(lab, weights=degrees, minlength=k)
+    sizes = np.bincount(lab, minlength=k)
+
+    internal = np.zeros(k)
+    coo = adj.tocoo()
+    same = lab[coo.row] == lab[coo.col]
+    np.add.at(internal, lab[coo.row[same]], coo.data[same])
+    cut = volume - internal
+    return cut, volume, sizes.astype(float)
+
+
+def conductance(adjacency, labels) -> List[float]:
+    """Conductance per partition (lower is better).
+
+    Partitions covering the whole graph (k = 1) get conductance 0.
+    """
+    cut, volume, __ = _per_partition_cut_and_volume(adjacency, labels)
+    total = volume.sum()
+    out: List[float] = []
+    for i in range(len(cut)):
+        denom = min(volume[i], total - volume[i])
+        out.append(float(cut[i] / denom) if denom > 0 else 0.0)
+    return out
+
+
+def expansion(adjacency, labels) -> List[float]:
+    """Expansion per partition (cut edges per node on the smaller side)."""
+    cut, __, sizes = _per_partition_cut_and_volume(adjacency, labels)
+    n = sizes.sum()
+    out: List[float] = []
+    for i in range(len(cut)):
+        denom = min(sizes[i], n - sizes[i])
+        out.append(float(cut[i] / denom) if denom > 0 else 0.0)
+    return out
+
+
+def max_conductance(adjacency, labels) -> float:
+    """Worst-partition conductance (the usual summary; lower better)."""
+    return max(conductance(adjacency, labels))

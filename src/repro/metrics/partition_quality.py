@@ -1,0 +1,43 @@
+"""Cost of partitioning and partition volume (Definitions 3 and 4).
+
+Both definitions aggregate *affinity values* — congestion similarity —
+over node pairs: the **cost** over pairs split across partitions
+(minimised by C.3), the **volume** over pairs kept together (maximised
+by C.4). The affinity structure is supplied as a weighted matrix,
+typically :func:`repro.graph.affinity.congestion_affinity` of the road
+graph (adjacent pairs) or a supergraph's superlink matrix; each
+unordered pair is counted once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import PartitioningError
+
+
+def _split_weights(affinity, labels):
+    adj = sp.csr_matrix(affinity, dtype=float)
+    lab = np.asarray(labels, dtype=int)
+    if lab.shape != (adj.shape[0],):
+        raise PartitioningError(
+            f"labels must have shape ({adj.shape[0]},), got {lab.shape}"
+        )
+    coo = adj.tocoo()
+    upper = coo.row < coo.col
+    same = lab[coo.row[upper]] == lab[coo.col[upper]]
+    weights = coo.data[upper]
+    return float(weights[same].sum()), float(weights[~same].sum())
+
+
+def cost_of_partitioning(affinity, labels) -> float:
+    """Total affinity of node pairs split across partitions (Definition 3)."""
+    __, cross = _split_weights(affinity, labels)
+    return cross
+
+
+def partition_volume(affinity, labels) -> float:
+    """Total affinity of node pairs kept in one partition (Definition 4)."""
+    within, __ = _split_weights(affinity, labels)
+    return within

@@ -1,0 +1,48 @@
+"""Dual transform: road network → road graph (Definition 2).
+
+Each directed road segment becomes a node of the undirected *road
+graph*; two nodes are linked when their segments share at least one
+intersection point. Star-topology junctions therefore become cliques
+in the dual while linear chains of segments stay linear, exactly as
+described in Section 2.1 of the paper. The node feature value is the
+segment's traffic density.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.graph.adjacency import Graph
+from repro.network.model import RoadNetwork
+
+
+def segment_adjacency(network: RoadNetwork) -> List[Tuple[int, int]]:
+    """Adjacent segment-id pairs (u < v) sharing an intersection.
+
+    The pair (r_j, r_k) is adjacent when some intersection ι is an
+    endpoint (source or target) of both segments. The two directions of
+    a two-way street share both endpoints and are hence adjacent.
+    """
+    incident: List[Set[int]] = [set() for _ in range(network.n_intersections)]
+    for seg in network.segments:
+        incident[seg.source].add(seg.id)
+        incident[seg.target].add(seg.id)
+
+    pairs: Set[Tuple[int, int]] = set()
+    for segs in incident:
+        ordered = sorted(segs)
+        for i, u in enumerate(ordered):
+            for v in ordered[i + 1 :]:
+                pairs.add((u, v))
+    return sorted(pairs)
+
+
+def build_road_graph(network: RoadNetwork) -> Graph:
+    """Construct the road graph G = (V, E) dual to ``network``.
+
+    Returns a :class:`repro.graph.Graph` whose node ``i`` is road
+    segment ``i``, whose edges are binary adjacency links, and whose
+    node features are the segment traffic densities r_i.d.
+    """
+    edges = segment_adjacency(network)
+    return Graph(network.n_segments, edges=edges, features=network.densities())

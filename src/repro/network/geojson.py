@@ -1,0 +1,114 @@
+"""GeoJSON export of networks and partitionings.
+
+Produces a FeatureCollection of LineString features (one per road
+segment) with density / partition properties, so results drop straight
+into geojson.io, QGIS, Kepler or any web map. Coordinates are the
+network's local planar metres by default; pass an ``origin`` (lat,
+lon) to emit WGS84 degrees via the inverse equirectangular projection
+used by the OSM reader.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.network.model import RoadNetwork
+from repro.network.osm import EARTH_RADIUS_M
+
+
+def _unproject(x: float, y: float, origin: Tuple[float, float]) -> Tuple[float, float]:
+    """Local metres -> (lon, lat) degrees around ``origin`` (lat, lon)."""
+    lat0, lon0 = origin
+    lat = lat0 + math.degrees(y / EARTH_RADIUS_M)
+    lon = lon0 + math.degrees(x / (EARTH_RADIUS_M * math.cos(math.radians(lat0))))
+    return lon, lat
+
+
+def network_to_geojson(
+    network: RoadNetwork,
+    labels: Optional[Sequence[int]] = None,
+    densities: Optional[Sequence[float]] = None,
+    origin: Optional[Tuple[float, float]] = None,
+) -> Dict:
+    """GeoJSON FeatureCollection of ``network``.
+
+    Parameters
+    ----------
+    network:
+        The road network to export.
+    labels:
+        Optional per-segment partition ids, written as the
+        ``partition`` property.
+    densities:
+        Optional density vector (defaults to the stored densities),
+        written as the ``density`` property.
+    origin:
+        Optional (lat, lon) anchor; when given, planar metres are
+        converted to WGS84 degrees.
+    """
+    if network.n_segments == 0:
+        raise DataError("cannot export an empty network")
+    feats = (
+        network.densities()
+        if densities is None
+        else np.asarray(densities, dtype=float)
+    )
+    if feats.shape != (network.n_segments,):
+        raise DataError(
+            f"densities must have shape ({network.n_segments},), got {feats.shape}"
+        )
+    lab = None
+    if labels is not None:
+        lab = np.asarray(labels, dtype=int)
+        if lab.shape != (network.n_segments,):
+            raise DataError(
+                f"labels must have shape ({network.n_segments},), got {lab.shape}"
+            )
+
+    features = []
+    for seg in network.segments:
+        a, b = network.segment_endpoints(seg.id)
+        if origin is not None:
+            coords = [_unproject(a.x, a.y, origin), _unproject(b.x, b.y, origin)]
+        else:
+            coords = [(a.x, a.y), (b.x, b.y)]
+        properties = {
+            "segment_id": seg.id,
+            "source": seg.source,
+            "target": seg.target,
+            "length_m": round(seg.length, 2),
+            "density": float(feats[seg.id]),
+            "lanes": seg.lanes,
+            "speed_limit": seg.speed_limit,
+        }
+        if seg.name:
+            properties["name"] = seg.name
+        if lab is not None:
+            properties["partition"] = int(lab[seg.id])
+        features.append(
+            {
+                "type": "Feature",
+                "geometry": {
+                    "type": "LineString",
+                    "coordinates": [list(c) for c in coords],
+                },
+                "properties": properties,
+            }
+        )
+    return {"type": "FeatureCollection", "features": features}
+
+
+def save_geojson(
+    document: Dict, path: Union[str, Path], indent: Optional[int] = None
+) -> Path:
+    """Write a GeoJSON document to ``path`` and return the path."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=indent)
+    return path

@@ -1,0 +1,56 @@
+"""Planar geometry primitives for road networks.
+
+Networks are modelled on a local planar projection (metres), which is
+the standard approximation for city-scale road data; the synthetic
+generators emit coordinates directly in metres.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Point:
+    """A 2-D point in metres on the local projection plane."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """Midpoint of the segment joining this point and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """Euclidean distance between two points in metres."""
+    return a.distance_to(b)
+
+
+def polyline_length(points: Sequence[Point]) -> float:
+    """Total length of a polyline given as a sequence of points."""
+    if len(points) < 2:
+        return 0.0
+    return sum(points[i].distance_to(points[i + 1]) for i in range(len(points) - 1))
+
+
+def interpolate(a: Point, b: Point, fraction: float) -> Point:
+    """Point at ``fraction`` of the way from ``a`` to ``b`` (0 → a, 1 → b)."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    return Point(a.x + (b.x - a.x) * fraction, a.y + (b.y - a.y) * fraction)
+
+
+def bounding_box(points: Sequence[Point]):
+    """Axis-aligned bounding box ``(min_x, min_y, max_x, max_y)``."""
+    if not points:
+        raise ValueError("bounding_box requires at least one point")
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    return min(xs), min(ys), max(xs), max(ys)

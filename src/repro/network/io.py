@@ -1,0 +1,161 @@
+"""(De)serialisation of road networks and density snapshots.
+
+Two formats are supported:
+
+* **JSON** — one self-describing document holding intersections,
+  segments and (optionally) a series of density snapshots; convenient
+  for examples and small fixtures.
+* **CSV pair** — ``<stem>.nodes.csv`` + ``<stem>.segments.csv``, the
+  shape typically produced by exporting OSM extracts, convenient for
+  bulk data.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.network.geometry import Point
+from repro.network.model import Intersection, RoadNetwork, RoadSegment
+
+PathLike = Union[str, Path]
+
+
+def network_to_dict(network: RoadNetwork) -> Dict:
+    """Plain-dict representation of ``network`` (JSON-serialisable)."""
+    return {
+        "format": "repro-road-network",
+        "version": 1,
+        "intersections": [
+            {"id": i.id, "x": i.location.x, "y": i.location.y}
+            for i in network.intersections
+        ],
+        "segments": [
+            {
+                "id": s.id,
+                "source": s.source,
+                "target": s.target,
+                "length": s.length,
+                "density": s.density,
+                "lanes": s.lanes,
+                "speed_limit": s.speed_limit,
+                "name": s.name,
+            }
+            for s in network.segments
+        ],
+    }
+
+
+def network_from_dict(data: Dict) -> RoadNetwork:
+    """Rebuild a :class:`RoadNetwork` from :func:`network_to_dict` output."""
+    if data.get("format") != "repro-road-network":
+        raise DataError("not a repro road-network document")
+    intersections = [
+        Intersection(int(rec["id"]), Point(float(rec["x"]), float(rec["y"])))
+        for rec in data["intersections"]
+    ]
+    segments = [
+        RoadSegment(
+            int(rec["id"]),
+            int(rec["source"]),
+            int(rec["target"]),
+            length=float(rec["length"]),
+            density=float(rec.get("density", 0.0)),
+            lanes=int(rec.get("lanes", 1)),
+            speed_limit=float(rec.get("speed_limit", 13.9)),
+            name=str(rec.get("name", "")),
+        )
+        for rec in data["segments"]
+    ]
+    return RoadNetwork(intersections, segments)
+
+
+def save_network_json(network: RoadNetwork, path: PathLike) -> None:
+    """Write ``network`` to ``path`` as a JSON document."""
+    payload = network_to_dict(network)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+
+
+def load_network_json(path: PathLike) -> RoadNetwork:
+    """Read a road network from a JSON document written by us."""
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    return network_from_dict(data)
+
+
+def save_network_csv(network: RoadNetwork, stem: PathLike) -> None:
+    """Write ``<stem>.nodes.csv`` and ``<stem>.segments.csv``."""
+    stem = Path(stem)
+    with open(stem.with_suffix(".nodes.csv"), "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["id", "x", "y"])
+        for i in network.intersections:
+            writer.writerow([i.id, i.location.x, i.location.y])
+    with open(
+        stem.with_suffix(".segments.csv"), "w", newline="", encoding="utf-8"
+    ) as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["id", "source", "target", "length", "density", "lanes", "speed_limit"]
+        )
+        for s in network.segments:
+            writer.writerow(
+                [s.id, s.source, s.target, s.length, s.density, s.lanes, s.speed_limit]
+            )
+
+
+def load_network_csv(stem: PathLike) -> RoadNetwork:
+    """Read a network from the CSV pair written by :func:`save_network_csv`."""
+    stem = Path(stem)
+    nodes_path = stem.with_suffix(".nodes.csv")
+    segments_path = stem.with_suffix(".segments.csv")
+    if not nodes_path.exists() or not segments_path.exists():
+        raise DataError(f"missing CSV pair for stem {stem}")
+
+    intersections: List[Intersection] = []
+    with open(nodes_path, newline="", encoding="utf-8") as fh:
+        for rec in csv.DictReader(fh):
+            intersections.append(
+                Intersection(
+                    int(rec["id"]), Point(float(rec["x"]), float(rec["y"]))
+                )
+            )
+    segments: List[RoadSegment] = []
+    with open(segments_path, newline="", encoding="utf-8") as fh:
+        for rec in csv.DictReader(fh):
+            segments.append(
+                RoadSegment(
+                    int(rec["id"]),
+                    int(rec["source"]),
+                    int(rec["target"]),
+                    length=float(rec["length"]),
+                    density=float(rec.get("density", 0.0) or 0.0),
+                    lanes=int(rec.get("lanes", 1) or 1),
+                    speed_limit=float(rec.get("speed_limit", 13.9) or 13.9),
+                )
+            )
+    return RoadNetwork(intersections, segments)
+
+
+def save_density_series(series: Sequence[Sequence[float]], path: PathLike) -> None:
+    """Write a (timestamps x segments) density series as CSV.
+
+    Row ``t`` holds the densities of every segment at timestamp ``t``,
+    matching the per-interval snapshots of the paper's microsimulation.
+    """
+    arr = np.asarray(series, dtype=float)
+    if arr.ndim != 2:
+        raise DataError(f"density series must be 2-D, got shape {arr.shape}")
+    np.savetxt(path, arr, delimiter=",")
+
+
+def load_density_series(path: PathLike) -> np.ndarray:
+    """Read a density series CSV back as a (timestamps x segments) array."""
+    arr = np.loadtxt(path, delimiter=",", ndmin=2)
+    return np.asarray(arr, dtype=float)

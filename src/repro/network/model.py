@@ -1,0 +1,233 @@
+"""Road network model (Definition 1 of the paper).
+
+A :class:`RoadNetwork` is a set of :class:`Intersection` nodes joined
+by **directed** :class:`RoadSegment` links. Each segment carries a
+traffic density (vehicles/metre). Two-way streets are represented as
+two opposite segments sharing the same pair of intersections, matching
+the paper's treatment of the two traffic directions as separate road
+segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import NetworkError
+from repro.network.geometry import Point
+
+
+@dataclass(frozen=True)
+class Intersection:
+    """An intersection point ι (node of the real road network)."""
+
+    id: int
+    location: Point
+
+    def __post_init__(self) -> None:
+        if self.id < 0:
+            raise NetworkError(f"intersection id must be non-negative, got {self.id}")
+
+
+@dataclass
+class RoadSegment:
+    """A directed road segment r with an associated traffic density.
+
+    Attributes
+    ----------
+    id:
+        Dense integer id; doubles as the node id of the dual road graph.
+    source, target:
+        Intersection ids the segment runs from / to.
+    length:
+        Segment length in metres (must be positive).
+    density:
+        Traffic density ``r.d`` in vehicles/metre (non-negative).
+    lanes:
+        Number of lanes; used by the traffic simulator for capacity.
+    speed_limit:
+        Free-flow speed in metres/second; used by routing and simulation.
+    name:
+        Optional human-readable street name.
+    """
+
+    id: int
+    source: int
+    target: int
+    length: float
+    density: float = 0.0
+    lanes: int = 1
+    speed_limit: float = 13.9  # ~50 km/h urban default
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.id < 0:
+            raise NetworkError(f"segment id must be non-negative, got {self.id}")
+        if self.source == self.target:
+            raise NetworkError(f"segment {self.id} is a self-loop at {self.source}")
+        if self.length <= 0:
+            raise NetworkError(f"segment {self.id} must have positive length")
+        if self.density < 0:
+            raise NetworkError(f"segment {self.id} has negative density")
+        if self.lanes < 1:
+            raise NetworkError(f"segment {self.id} must have at least one lane")
+        if self.speed_limit <= 0:
+            raise NetworkError(f"segment {self.id} must have positive speed limit")
+
+    @property
+    def capacity(self) -> float:
+        """Jam capacity in vehicles: length x lanes x jam density.
+
+        Uses the conventional urban jam density of 0.15 veh/m/lane
+        (one vehicle per ~6.7 m of lane).
+        """
+        return self.length * self.lanes * 0.15
+
+
+class RoadNetwork:
+    """A directed urban road network N = (I, R).
+
+    Parameters
+    ----------
+    intersections:
+        Iterable of :class:`Intersection`; ids must be dense 0..n-1.
+    segments:
+        Iterable of :class:`RoadSegment`; ids must be dense 0..m-1 and
+        endpoints must reference existing intersections.
+    """
+
+    def __init__(
+        self,
+        intersections: Iterable[Intersection],
+        segments: Iterable[RoadSegment],
+    ) -> None:
+        self._intersections: List[Intersection] = sorted(
+            intersections, key=lambda i: i.id
+        )
+        self._segments: List[RoadSegment] = sorted(segments, key=lambda s: s.id)
+
+        for pos, inter in enumerate(self._intersections):
+            if inter.id != pos:
+                raise NetworkError(
+                    f"intersection ids must be dense 0..n-1; missing id {pos}"
+                )
+        n = len(self._intersections)
+        for pos, seg in enumerate(self._segments):
+            if seg.id != pos:
+                raise NetworkError(f"segment ids must be dense 0..m-1; missing id {pos}")
+            if not (0 <= seg.source < n and 0 <= seg.target < n):
+                raise NetworkError(
+                    f"segment {seg.id} references unknown intersection "
+                    f"({seg.source} -> {seg.target}, n={n})"
+                )
+
+        # adjacency indexes for traffic routing
+        self._out: Dict[int, List[int]] = {i: [] for i in range(n)}
+        self._in: Dict[int, List[int]] = {i: [] for i in range(n)}
+        for seg in self._segments:
+            self._out[seg.source].append(seg.id)
+            self._in[seg.target].append(seg.id)
+
+    # ------------------------------------------------------------------
+    # Size queries
+    # ------------------------------------------------------------------
+    @property
+    def n_intersections(self) -> int:
+        """Number of intersection points |I|."""
+        return len(self._intersections)
+
+    @property
+    def n_segments(self) -> int:
+        """Number of directed road segments |R|."""
+        return len(self._segments)
+
+    @property
+    def intersections(self) -> Sequence[Intersection]:
+        """The intersections ordered by id."""
+        return tuple(self._intersections)
+
+    @property
+    def segments(self) -> Sequence[RoadSegment]:
+        """The road segments ordered by id."""
+        return tuple(self._segments)
+
+    def intersection(self, iid: int) -> Intersection:
+        """Intersection with id ``iid``."""
+        try:
+            return self._intersections[iid]
+        except IndexError:
+            raise NetworkError(f"no intersection with id {iid}") from None
+
+    def segment(self, sid: int) -> RoadSegment:
+        """Road segment with id ``sid``."""
+        try:
+            return self._segments[sid]
+        except IndexError:
+            raise NetworkError(f"no segment with id {sid}") from None
+
+    # ------------------------------------------------------------------
+    # Topology queries
+    # ------------------------------------------------------------------
+    def outgoing(self, iid: int) -> Sequence[int]:
+        """Ids of segments leaving intersection ``iid``."""
+        if iid not in self._out:
+            raise NetworkError(f"no intersection with id {iid}")
+        return tuple(self._out[iid])
+
+    def incoming(self, iid: int) -> Sequence[int]:
+        """Ids of segments arriving at intersection ``iid``."""
+        if iid not in self._in:
+            raise NetworkError(f"no intersection with id {iid}")
+        return tuple(self._in[iid])
+
+    def segment_endpoints(self, sid: int) -> Tuple[Point, Point]:
+        """Source and target locations of segment ``sid``."""
+        seg = self.segment(sid)
+        return (
+            self._intersections[seg.source].location,
+            self._intersections[seg.target].location,
+        )
+
+    def segment_midpoint(self, sid: int) -> Point:
+        """Midpoint of segment ``sid`` (used by spatial metrics)."""
+        a, b = self.segment_endpoints(sid)
+        return a.midpoint(b)
+
+    # ------------------------------------------------------------------
+    # Densities
+    # ------------------------------------------------------------------
+    def densities(self) -> np.ndarray:
+        """Vector of per-segment traffic densities indexed by segment id."""
+        return np.array([s.density for s in self._segments], dtype=float)
+
+    def set_densities(self, densities: Sequence[float]) -> None:
+        """Replace every segment's density (vector indexed by segment id)."""
+        arr = np.asarray(densities, dtype=float)
+        if arr.shape != (self.n_segments,):
+            raise NetworkError(
+                f"densities must have shape ({self.n_segments},), got {arr.shape}"
+            )
+        if arr.size and arr.min() < 0:
+            raise NetworkError("densities must be non-negative")
+        for seg, d in zip(self._segments, arr):
+            seg.density = float(d)
+
+    def total_length(self) -> float:
+        """Sum of all segment lengths in metres."""
+        return float(sum(s.length for s in self._segments))
+
+    def area_km2(self) -> float:
+        """Area of the intersection bounding box in square kilometres."""
+        if not self._intersections:
+            return 0.0
+        xs = [i.location.x for i in self._intersections]
+        ys = [i.location.y for i in self._intersections]
+        return (max(xs) - min(xs)) * (max(ys) - min(ys)) / 1e6
+
+    def __repr__(self) -> str:
+        return (
+            f"RoadNetwork(n_intersections={self.n_intersections}, "
+            f"n_segments={self.n_segments})"
+        )

@@ -1,0 +1,158 @@
+"""Minimal OpenStreetMap XML reader.
+
+The paper's large networks are OSM extracts of Melbourne. Live OSM
+downloads are unavailable offline, so this reader exists for users who
+*have* an ``.osm`` XML file on disk: it parses highway ways into a
+:class:`RoadNetwork` — nodes become intersections (only those shared by
+more than one way or at way ends), ways are split into segments at
+intersections, one-way tags are honoured, and lat/lon is projected to
+local metres with an equirectangular projection.
+
+Only the OSM features the partitioning framework needs are supported;
+this is not a general OSM toolkit.
+"""
+
+from __future__ import annotations
+
+import math
+import xml.etree.ElementTree as ET
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.exceptions import DataError
+from repro.network.geometry import Point
+from repro.network.model import Intersection, RoadNetwork, RoadSegment
+
+# highway values considered drivable roads
+_DRIVABLE = {
+    "motorway",
+    "trunk",
+    "primary",
+    "secondary",
+    "tertiary",
+    "unclassified",
+    "residential",
+    "motorway_link",
+    "trunk_link",
+    "primary_link",
+    "secondary_link",
+    "tertiary_link",
+    "living_street",
+}
+
+_DEFAULT_SPEEDS = {  # m/s by class
+    "motorway": 27.8,
+    "trunk": 22.2,
+    "primary": 16.7,
+    "secondary": 16.7,
+    "tertiary": 13.9,
+    "residential": 13.9,
+    "living_street": 5.6,
+}
+
+EARTH_RADIUS_M = 6_371_000.0
+
+
+def _project(lat: float, lon: float, lat0: float, lon0: float) -> Point:
+    """Equirectangular projection to metres around (lat0, lon0)."""
+    x = math.radians(lon - lon0) * EARTH_RADIUS_M * math.cos(math.radians(lat0))
+    y = math.radians(lat - lat0) * EARTH_RADIUS_M
+    return Point(x, y)
+
+
+def load_osm_xml(path: Union[str, Path]) -> RoadNetwork:
+    """Parse an OSM XML file into a :class:`RoadNetwork`.
+
+    Raises :class:`repro.exceptions.DataError` when the file contains
+    no drivable ways.
+    """
+    try:
+        tree = ET.parse(str(path))
+    except ET.ParseError as exc:
+        raise DataError(f"invalid OSM XML in {path}: {exc}") from exc
+    root = tree.getroot()
+
+    node_coords: Dict[str, Tuple[float, float]] = {}
+    for node in root.iter("node"):
+        node_coords[node.get("id")] = (float(node.get("lat")), float(node.get("lon")))
+
+    ways: List[Tuple[List[str], Dict[str, str]]] = []
+    for way in root.iter("way"):
+        tags = {t.get("k"): t.get("v") for t in way.findall("tag")}
+        if tags.get("highway") not in _DRIVABLE:
+            continue
+        refs = [nd.get("ref") for nd in way.findall("nd")]
+        refs = [r for r in refs if r in node_coords]
+        if len(refs) >= 2:
+            ways.append((refs, tags))
+    if not ways:
+        raise DataError(f"no drivable highway ways found in {path}")
+
+    # Intersections: nodes used by >1 way, or way endpoints.
+    usage = Counter()
+    for refs, __ in ways:
+        usage.update(set(refs))
+    junction_ids = {r for r, c in usage.items() if c > 1}
+    for refs, __ in ways:
+        junction_ids.add(refs[0])
+        junction_ids.add(refs[-1])
+
+    lat0 = sum(node_coords[r][0] for r in junction_ids) / len(junction_ids)
+    lon0 = sum(node_coords[r][1] for r in junction_ids) / len(junction_ids)
+
+    osm_to_iid: Dict[str, int] = {}
+    intersections: List[Intersection] = []
+    for ref in sorted(junction_ids):
+        lat, lon = node_coords[ref]
+        iid = len(intersections)
+        osm_to_iid[ref] = iid
+        intersections.append(Intersection(iid, _project(lat, lon, lat0, lon0)))
+
+    segments: List[RoadSegment] = []
+
+    def _add_segment(src_ref: str, dst_ref: str, length: float, tags: Dict) -> None:
+        speed = _DEFAULT_SPEEDS.get(tags.get("highway", ""), 13.9)
+        if "maxspeed" in tags:
+            try:
+                speed = float(tags["maxspeed"].split()[0]) / 3.6
+            except (ValueError, IndexError):
+                pass
+        lanes = 1
+        if "lanes" in tags:
+            try:
+                lanes = max(1, int(float(tags["lanes"])))
+            except ValueError:
+                pass
+        segments.append(
+            RoadSegment(
+                len(segments),
+                osm_to_iid[src_ref],
+                osm_to_iid[dst_ref],
+                length=max(length, 1e-3),
+                lanes=lanes,
+                speed_limit=speed,
+                name=tags.get("name", ""),
+            )
+        )
+
+    for refs, tags in ways:
+        oneway = tags.get("oneway", "no") in {"yes", "true", "1"}
+        # split the way at junction nodes
+        start = 0
+        acc = 0.0
+        for i in range(1, len(refs)):
+            lat1, lon1 = node_coords[refs[i - 1]]
+            lat2, lon2 = node_coords[refs[i]]
+            p1 = _project(lat1, lon1, lat0, lon0)
+            p2 = _project(lat2, lon2, lat0, lon0)
+            acc += p1.distance_to(p2)
+            if refs[i] in junction_ids:
+                if refs[start] != refs[i]:
+                    _add_segment(refs[start], refs[i], acc, tags)
+                    if not oneway:
+                        _add_segment(refs[i], refs[start], acc, tags)
+                start = i
+                acc = 0.0
+
+    return RoadNetwork(intersections, segments)

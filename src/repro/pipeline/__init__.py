@@ -1,0 +1,25 @@
+"""End-to-end partitioning pipeline (the paper's three-module framework).
+
+* :mod:`repro.pipeline.results` — the result container with metric
+  evaluation helpers;
+* :mod:`repro.pipeline.schemes` — the evaluation schemes AG / ASG /
+  NG / NSG (and stability-threshold variants);
+* :mod:`repro.pipeline.framework` — the
+  :class:`SpatialPartitioningFramework` running road-graph
+  construction, supergraph mining and supergraph partitioning with
+  per-module timing (paper Table 3).
+"""
+
+from repro.pipeline.framework import SpatialPartitioningFramework
+from repro.pipeline.incremental import IncrementalRepartitioner, UpdateReport
+from repro.pipeline.results import PartitioningResult
+from repro.pipeline.schemes import SCHEMES, run_scheme
+
+__all__ = [
+    "SpatialPartitioningFramework",
+    "PartitioningResult",
+    "SCHEMES",
+    "run_scheme",
+    "IncrementalRepartitioner",
+    "UpdateReport",
+]

@@ -1,0 +1,186 @@
+"""Distributed / incremental repartitioning (paper Section 6.4).
+
+For continuously monitored networks the paper proposes: partition the
+whole network once, then, as congestion evolves, "repeatedly subject
+[the partitions] to partitioning distributively with the changing
+congestion measures" — i.e. repartition each region *independently*,
+which is much cheaper than a global run and embarrassingly parallel.
+
+:class:`IncrementalRepartitioner` implements that loop:
+
+* :meth:`bootstrap` runs a full global partitioning at the first
+  timestamp;
+* :meth:`update` repartitions only the regions whose density
+  distribution changed materially (mean shift above a threshold),
+  splitting each stale region into ``round(k * size_share)`` parts
+  locally and renumbering globally;
+* regions that did not change keep their segment sets, so the work per
+  step is proportional to where congestion actually moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import PartitioningError
+from repro.graph.adjacency import Graph
+from repro.pipeline.schemes import run_scheme
+from repro.util.rng import RngLike
+
+
+@dataclass
+class UpdateReport:
+    """What one incremental update did.
+
+    Attributes
+    ----------
+    refreshed:
+        Region ids that were repartitioned in this update.
+    kept:
+        Region ids left untouched.
+    labels:
+        The new global label vector.
+    """
+
+    refreshed: List[int]
+    kept: List[int]
+    labels: np.ndarray
+
+
+class IncrementalRepartitioner:
+    """Repartition an evolving network region by region.
+
+    Parameters
+    ----------
+    graph:
+        The road graph (topology is fixed; densities change per step).
+    k:
+        Global number of partitions maintained.
+    scheme:
+        Scheme used for both the bootstrap and the local refreshes.
+    staleness_threshold:
+        A region is refreshed when the relative change of its mean
+        density exceeds this threshold (default 0.25 = 25%).
+    seed:
+        Reproducibility seed.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        k: int,
+        scheme: str = "ASG",
+        staleness_threshold: float = 0.25,
+        seed: RngLike = 0,
+    ) -> None:
+        if k < 1:
+            raise PartitioningError(f"k must be positive, got {k}")
+        if staleness_threshold < 0:
+            raise PartitioningError(
+                f"staleness_threshold must be >= 0, got {staleness_threshold}"
+            )
+        self._graph = graph
+        self._k = int(k)
+        self._scheme = scheme
+        self._threshold = float(staleness_threshold)
+        self._seed = seed
+        self._labels: Optional[np.ndarray] = None
+        self._region_means: Optional[np.ndarray] = None
+
+    @property
+    def labels(self) -> Optional[np.ndarray]:
+        """Current global label vector (None before bootstrap)."""
+        return None if self._labels is None else self._labels.copy()
+
+    def bootstrap(self, densities: Sequence[float]) -> np.ndarray:
+        """Full global partitioning at the first timestamp."""
+        densities = self._check_densities(densities)
+        g0 = self._graph.with_features(densities)
+        result = run_scheme(self._scheme, g0, self._k, seed=self._seed)
+        self._labels = result.labels.copy()
+        self._region_means = self._means(densities, self._labels)
+        return self._labels.copy()
+
+    def update(self, densities: Sequence[float]) -> UpdateReport:
+        """Refresh only the regions whose congestion changed materially."""
+        if self._labels is None:
+            raise PartitioningError("call bootstrap() before update()")
+        densities = self._check_densities(densities)
+        labels = self._labels
+        n_regions = int(labels.max()) + 1
+        new_means = self._means(densities, labels)
+
+        stale: List[int] = []
+        for region in range(n_regions):
+            old = self._region_means[region]
+            new = new_means[region]
+            denom = max(abs(old), 1e-9)
+            if abs(new - old) / denom > self._threshold:
+                stale.append(region)
+
+        if not stale:
+            self._region_means = new_means
+            return UpdateReport(refreshed=[], kept=list(range(n_regions)), labels=labels.copy())
+
+        # repartition each stale region locally; a stale region of
+        # size share s gets max(1, round(k * s)) local parts, keeping
+        # the total region count close to (though not exactly) k —
+        # the region count drifts with where congestion concentrates
+        new_labels = labels.copy()
+        next_id = 0
+        id_map: Dict[int, int] = {}
+        for region in range(n_regions):
+            if region in stale:
+                continue
+            id_map[region] = next_id
+            next_id += 1
+        for region in stale:
+            members = np.flatnonzero(labels == region)
+            share = members.size / labels.size
+            local_k = max(1, round(self._k * share))
+            local_k = min(local_k, members.size)
+            sub, __ = self._graph.subgraph(members)
+            sub = sub.with_features(densities[members])
+            if local_k == 1 or sub.n_nodes < 3:
+                local = np.zeros(members.size, dtype=int)
+            else:
+                local = run_scheme(
+                    self._scheme, sub, local_k, seed=self._seed
+                ).labels
+            new_labels[members] = next_id + local
+            next_id += int(local.max()) + 1
+        for region, mapped in id_map.items():
+            new_labels[labels == region] = mapped
+
+        self._labels = _dense(new_labels)
+        self._region_means = self._means(densities, self._labels)
+        return UpdateReport(
+            refreshed=stale,
+            kept=[r for r in range(n_regions) if r not in stale],
+            labels=self._labels.copy(),
+        )
+
+    # ------------------------------------------------------------------
+    def _check_densities(self, densities) -> np.ndarray:
+        arr = np.asarray(densities, dtype=float)
+        if arr.shape != (self._graph.n_nodes,):
+            raise PartitioningError(
+                f"densities must have shape ({self._graph.n_nodes},), "
+                f"got {arr.shape}"
+            )
+        return arr
+
+    @staticmethod
+    def _means(densities: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        n_regions = int(labels.max()) + 1
+        sizes = np.bincount(labels, minlength=n_regions)
+        sums = np.bincount(labels, weights=densities, minlength=n_regions)
+        return sums / np.maximum(sizes, 1)
+
+
+def _dense(labels: np.ndarray) -> np.ndarray:
+    __, out = np.unique(labels, return_inverse=True)
+    return out.astype(int)

@@ -1,0 +1,64 @@
+"""(De)serialisation of partitioning results.
+
+A :class:`repro.pipeline.results.PartitioningResult` round-trips
+through a JSON document so runs can be archived and compared later —
+e.g. one document per repartitioning interval in a monitoring loop.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.pipeline.results import PartitioningResult
+
+PathLike = Union[str, Path]
+
+_FORMAT = "repro-partitioning-result"
+
+
+def result_to_dict(result: PartitioningResult) -> Dict:
+    """Plain-dict (JSON-serialisable) form of a partitioning result."""
+    return {
+        "format": _FORMAT,
+        "version": 1,
+        "scheme": result.scheme,
+        "k": int(result.k),
+        "labels": result.labels.tolist(),
+        "timings": {k: float(v) for k, v in result.timings.items()},
+        "n_supernodes": (
+            None if result.n_supernodes is None else int(result.n_supernodes)
+        ),
+    }
+
+
+def result_from_dict(data: Dict) -> PartitioningResult:
+    """Rebuild a result from :func:`result_to_dict` output."""
+    if data.get("format") != _FORMAT:
+        raise DataError("not a repro partitioning-result document")
+    return PartitioningResult(
+        labels=np.asarray(data["labels"], dtype=int),
+        scheme=str(data.get("scheme", "")),
+        k=int(data.get("k", 0)),
+        timings=dict(data.get("timings", {})),
+        n_supernodes=data.get("n_supernodes"),
+    )
+
+
+def save_result(result: PartitioningResult, path: PathLike) -> Path:
+    """Write ``result`` to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result_to_dict(result), fh)
+    return path
+
+
+def load_result(path: PathLike) -> PartitioningResult:
+    """Read a partitioning result written by :func:`save_result`."""
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    return result_from_dict(data)

@@ -1,0 +1,31 @@
+"""Road supergraph mining (Module 2 of the framework, paper Section 4).
+
+Condenses the road graph into a much smaller weighted supergraph:
+
+* :mod:`repro.supergraph.supernode` — supernode creation from k-means
+  labels intersected with road-graph adjacency (Algorithm 1);
+* :mod:`repro.supergraph.stability` — the stability measure
+  (Definition 9 / Equation 2) and the LIFO splitting of unstable
+  supernodes (Algorithm 2);
+* :mod:`repro.supergraph.superlink` — Gaussian superlink weights
+  (Equation 3);
+* :mod:`repro.supergraph.model` — the Supergraph container;
+* :mod:`repro.supergraph.builder` — Algorithm 1 end to end.
+"""
+
+from repro.supergraph.builder import SupergraphBuilder, build_supergraph
+from repro.supergraph.model import Supergraph
+from repro.supergraph.stability import stability, stability_check
+from repro.supergraph.superlink import superlink_weights
+from repro.supergraph.supernode import Supernode, create_supernodes
+
+__all__ = [
+    "Supernode",
+    "create_supernodes",
+    "stability",
+    "stability_check",
+    "superlink_weights",
+    "Supergraph",
+    "SupergraphBuilder",
+    "build_supergraph",
+]

@@ -1,0 +1,131 @@
+"""The road supergraph container (Definition 8).
+
+A :class:`Supergraph` bundles the supernode set, the weighted
+superlink adjacency, and the mapping back to road-graph nodes. It
+exposes the same matrix interface the partitioners consume, plus the
+expansion of supernode partitions into road-segment partitions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError
+from repro.graph.adjacency import Graph
+from repro.supergraph.supernode import Supernode, membership_vector
+
+
+class Supergraph:
+    """Road supergraph G_s = (V_s, E_s, W_s).
+
+    Parameters
+    ----------
+    supernodes:
+        The supernode set; ids must be dense 0..n_s-1 in order.
+    adjacency:
+        Symmetric weighted superlink matrix, shape (n_s, n_s).
+    n_road_nodes:
+        Order of the underlying road graph (for membership expansion).
+    """
+
+    def __init__(
+        self,
+        supernodes: Sequence[Supernode],
+        adjacency,
+        n_road_nodes: int,
+    ) -> None:
+        self._supernodes: List[Supernode] = list(supernodes)
+        for pos, sn in enumerate(self._supernodes):
+            if sn.id != pos:
+                raise GraphError(
+                    f"supernode ids must be dense 0..n-1; found {sn.id} at {pos}"
+                )
+        adj = sp.csr_matrix(adjacency)
+        if adj.shape != (len(self._supernodes), len(self._supernodes)):
+            raise GraphError(
+                f"adjacency shape {adj.shape} does not match "
+                f"{len(self._supernodes)} supernodes"
+            )
+        self._adj = adj
+        self._n_road = int(n_road_nodes)
+        self._member_of = membership_vector(self._supernodes, self._n_road)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_supernodes(self) -> int:
+        """Order of the supergraph |V_s|."""
+        return len(self._supernodes)
+
+    @property
+    def n_superlinks(self) -> int:
+        """Number of superlinks |E_s|."""
+        return self._adj.nnz // 2
+
+    @property
+    def n_road_nodes(self) -> int:
+        """Order of the underlying road graph."""
+        return self._n_road
+
+    @property
+    def supernodes(self) -> Sequence[Supernode]:
+        """The supernode set, ordered by id."""
+        return tuple(self._supernodes)
+
+    @property
+    def adjacency(self) -> sp.csr_matrix:
+        """Weighted superlink adjacency matrix (do not mutate)."""
+        return self._adj
+
+    @property
+    def member_of(self) -> np.ndarray:
+        """Vector mapping road-graph node id -> supernode id."""
+        view = self._member_of.view()
+        view.flags.writeable = False
+        return view
+
+    def features(self) -> np.ndarray:
+        """Supernode feature values, ordered by id."""
+        return np.array([sn.feature for sn in self._supernodes], dtype=float)
+
+    def sizes(self) -> np.ndarray:
+        """Member counts |ς_i|, ordered by id."""
+        return np.array([sn.size for sn in self._supernodes], dtype=int)
+
+    def as_graph(self) -> Graph:
+        """View as a :class:`repro.graph.Graph` with supernode features."""
+        return Graph.from_adjacency(self._adj, features=self.features())
+
+    # ------------------------------------------------------------------
+    def reduction_ratio(self) -> float:
+        """Order reduction n_s / n_r achieved by the condensation."""
+        if self._n_road == 0:
+            raise GraphError("empty road graph")
+        return self.n_supernodes / self._n_road
+
+    def expand_partition(self, supernode_labels: Sequence[int]) -> np.ndarray:
+        """Expand a supernode partition to road-graph node labels.
+
+        Parameters
+        ----------
+        supernode_labels:
+            Partition index per supernode id.
+
+        Returns
+        -------
+        numpy.ndarray: partition index per road-graph node.
+        """
+        labels = np.asarray(supernode_labels, dtype=int)
+        if labels.shape != (self.n_supernodes,):
+            raise GraphError(
+                f"labels must have shape ({self.n_supernodes},), got {labels.shape}"
+            )
+        return labels[self._member_of]
+
+    def __repr__(self) -> str:
+        return (
+            f"Supergraph(n_supernodes={self.n_supernodes}, "
+            f"n_superlinks={self.n_superlinks}, n_road_nodes={self._n_road})"
+        )

@@ -1,0 +1,125 @@
+"""Superlink establishment and weighting (paper Section 4.3.3).
+
+A superlink joins supernodes (p, q) whenever at least one road-graph
+link crosses between their member sets. Its weight (Equation 3) is::
+
+    w = sqrt( (1/|L_pq|) * sum_{e in L_pq} g(e)^2 )
+
+i.e. the root-mean-square of a Gaussian similarity over the individual
+links. Two interpretations of g(e) are supported:
+
+* ``mode="supernode"`` (paper-literal): g(e) = exp(-(f_p - f_q)^2 /
+  (2 sigma^2)) using the *supernode* features. Every link between the
+  same pair then contributes the same value, so the RMS reduces
+  algebraically to the single Gaussian — we compute that closed form.
+* ``mode="node"``: g(e) uses the feature values of the two road-graph
+  *nodes* joined by each link, so links between similar segments pull
+  the weight up — this realises the textual intent that "larger number
+  of links and closer feature values together lead to higher weight"
+  through genuinely link-dependent terms.
+
+sigma^2 is the variance of supernode features around their global mean
+(the paper's sigma^2(s)); when it degenerates to 0 all supernode
+features coincide and every weight is 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError
+from repro.supergraph.supernode import Supernode, membership_vector
+
+
+def feature_variance(supernodes: Sequence[Supernode]) -> float:
+    """Variance sigma^2 of supernode features around their global mean."""
+    feats = np.array([sn.feature for sn in supernodes], dtype=float)
+    if feats.size == 0:
+        raise GraphError("no supernodes")
+    return float(((feats - feats.mean()) ** 2).mean())
+
+
+def superlink_weights(
+    adjacency,
+    supernodes: Sequence[Supernode],
+    node_features: Sequence[float] = None,
+    mode: str = "supernode",
+) -> sp.csr_matrix:
+    """Weighted supernode adjacency matrix (the supergraph's A).
+
+    Parameters
+    ----------
+    adjacency:
+        Road-graph adjacency (symmetric sparse/dense).
+    supernodes:
+        Supernode set covering every road-graph node exactly once.
+    node_features:
+        Per-node densities; required for ``mode="node"``.
+    mode:
+        ``"supernode"`` (paper-literal Eq. 3) or ``"node"`` (per-link
+        node similarities); see module docstring.
+
+    Returns
+    -------
+    scipy.sparse.csr_matrix of shape (n_supernodes, n_supernodes),
+    symmetric, zero diagonal, entries in [0, 1].
+    """
+    if mode not in ("supernode", "node"):
+        raise GraphError(f"mode must be 'supernode' or 'node', got {mode!r}")
+    adj = sp.csr_matrix(adjacency)
+    n_nodes = adj.shape[0]
+    member_of = membership_vector(supernodes, n_nodes)
+    n_super = len(supernodes)
+    sigma2 = feature_variance(supernodes)
+    feats = np.array([sn.feature for sn in supernodes], dtype=float)
+    if mode == "node":
+        if node_features is None:
+            raise GraphError("mode='node' requires node_features")
+        node_feats = np.asarray(node_features, dtype=float)
+        if node_feats.shape != (n_nodes,):
+            raise GraphError(
+                f"node_features must have shape ({n_nodes},), got {node_feats.shape}"
+            )
+
+    coo = adj.tocoo()
+    # vectorised accumulation per supernode pair (each link once)
+    upper = coo.row < coo.col
+    u, v = coo.row[upper], coo.col[upper]
+    p, q = member_of[u], member_of[v]
+    cross = p != q
+    u, v, p, q = u[cross], v[cross], p[cross], q[cross]
+    if p.size == 0:
+        return sp.csr_matrix((n_super, n_super))
+
+    lo = np.minimum(p, q).astype(np.int64)
+    hi = np.maximum(p, q).astype(np.int64)
+    keys = lo * n_super + hi
+    unique_keys, inverse, counts = np.unique(
+        keys, return_inverse=True, return_counts=True
+    )
+    pair_lo = (unique_keys // n_super).astype(int)
+    pair_hi = (unique_keys % n_super).astype(int)
+
+    if mode == "supernode":
+        if sigma2 > 0:
+            weights = np.exp(
+                -((feats[pair_lo] - feats[pair_hi]) ** 2) / (2.0 * sigma2)
+            )
+        else:
+            weights = np.ones(unique_keys.size)
+    else:
+        if sigma2 > 0:
+            g = np.exp(-((node_feats[u] - node_feats[v]) ** 2) / (2.0 * sigma2))
+        else:
+            g = np.ones(u.size)
+        sums = np.zeros(unique_keys.size)
+        np.add.at(sums, inverse, g * g)
+        weights = np.sqrt(sums / counts)
+
+    rows = np.concatenate([pair_lo, pair_hi])
+    cols = np.concatenate([pair_hi, pair_lo])
+    vals = np.concatenate([weights, weights])
+    return sp.csr_matrix((vals, (rows, cols)), shape=(n_super, n_super))

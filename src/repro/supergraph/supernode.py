@@ -1,0 +1,118 @@
+"""Supernodes: clusters of adjacent, similar-density road segments.
+
+A supernode (Definition 6) is a set of road-graph nodes that were
+grouped into the same k-means cluster *and* are interlinked in the
+road graph. They are computed as the connected components of the
+subgraph that keeps only same-cluster edges (Algorithm 1, line 17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.components import constrained_components
+
+
+@dataclass
+class Supernode:
+    """A supernode ς: member road-graph nodes plus a feature value.
+
+    Attributes
+    ----------
+    id:
+        Dense supernode id within its supergraph.
+    members:
+        Road-graph node ids (segment ids) belonging to this supernode.
+    feature:
+        The supernode feature ς.f — the mean density of the k-means
+        cluster it came from (or the member mean after a stability
+        split).
+    """
+
+    id: int
+    members: np.ndarray
+    feature: float
+
+    def __post_init__(self) -> None:
+        self.members = np.asarray(self.members, dtype=int)
+        if self.members.size == 0:
+            raise GraphError(f"supernode {self.id} has no members")
+
+    @property
+    def size(self) -> int:
+        """Number of member nodes |ς|."""
+        return int(self.members.size)
+
+    def member_mean(self, features: Sequence[float]) -> float:
+        """Mean of the members' own feature values μ(ς)."""
+        arr = np.asarray(features, dtype=float)
+        return float(arr[self.members].mean())
+
+
+def create_supernodes(
+    adjacency,
+    labels: Sequence[int],
+    cluster_means: Optional[Sequence[float]] = None,
+    features: Optional[Sequence[float]] = None,
+) -> List[Supernode]:
+    """Create supernodes from a clustering indicator vector.
+
+    Parameters
+    ----------
+    adjacency:
+        Road-graph adjacency matrix (sparse or dense, symmetric).
+    labels:
+        Cluster index per road-graph node (the indicator vector ρ).
+    cluster_means:
+        Mean feature value per cluster index. When given, each
+        supernode's feature is the mean of the cluster it belongs to
+        (Algorithm 1, lines 18-20). Otherwise ``features`` must be
+        given and the member mean is used.
+    features:
+        Per-node feature values, used when ``cluster_means`` is absent.
+
+    Returns
+    -------
+    list of Supernode, ids dense in component-discovery order.
+    """
+    labels = np.asarray(labels, dtype=int)
+    comp = constrained_components(adjacency, labels)
+    n_comp = int(comp.max()) + 1 if comp.size else 0
+
+    if cluster_means is None and features is None:
+        raise GraphError("create_supernodes needs cluster_means or features")
+    feats = None if features is None else np.asarray(features, dtype=float)
+    means = None if cluster_means is None else np.asarray(cluster_means, dtype=float)
+
+    supernodes: List[Supernode] = []
+    for cid in range(n_comp):
+        members = np.flatnonzero(comp == cid)
+        if means is not None:
+            cluster = int(labels[members[0]])
+            if cluster >= means.size:
+                raise GraphError(
+                    f"cluster index {cluster} out of range for "
+                    f"{means.size} cluster means"
+                )
+            feature = float(means[cluster])
+        else:
+            feature = float(feats[members].mean())
+        supernodes.append(Supernode(cid, members, feature))
+    return supernodes
+
+
+def membership_vector(supernodes: Sequence[Supernode], n_nodes: int) -> np.ndarray:
+    """Map node id → supernode id; raises if the cover is not a partition."""
+    out = np.full(n_nodes, -1, dtype=int)
+    for sn in supernodes:
+        if (out[sn.members] != -1).any():
+            raise GraphError("supernodes overlap")
+        out[sn.members] = sn.id
+    if (out == -1).any():
+        missing = int((out == -1).sum())
+        raise GraphError(f"{missing} nodes not covered by any supernode")
+    return out

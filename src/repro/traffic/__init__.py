@@ -1,0 +1,57 @@
+"""Traffic data substrate.
+
+Everything needed to put congestion data on a road network:
+
+* :mod:`repro.traffic.routing` — Dijkstra shortest paths over the
+  directed network (travel-time weighted);
+* :mod:`repro.traffic.mntg` — an MNTG-like random-trip traffic
+  generator standing in for the web generator the paper used;
+* :mod:`repro.traffic.simulator` — a queue-based mesoscopic
+  microsimulator standing in for the D1 microsimulation;
+* :mod:`repro.traffic.density` — map-matching vehicle positions to
+  segments and computing per-segment densities (vehicles/metre);
+* :mod:`repro.traffic.profiles` — fast synthetic congestion fields
+  (hotspot mixtures) for very large networks.
+"""
+
+from repro.traffic.congestion import (
+    CongestionAwareRouter,
+    congested_speeds,
+    congested_travel_times,
+)
+from repro.traffic.demand import ODMatrix, gravity_model, trips_from_od
+from repro.traffic.density import DensityMapper, densities_from_counts
+from repro.traffic.signals import TrafficSignal, signalize
+from repro.traffic.smoothing import (
+    exponential_smoothing,
+    interval_aggregate,
+    moving_average,
+)
+from repro.traffic.mntg import MNTGenerator, Trajectory
+from repro.traffic.profiles import hotspot_profile, peak_hour_series
+from repro.traffic.routing import Router, shortest_path
+from repro.traffic.simulator import MicroSimulator, SimulationResult
+
+__all__ = [
+    "Router",
+    "shortest_path",
+    "MNTGenerator",
+    "Trajectory",
+    "MicroSimulator",
+    "SimulationResult",
+    "DensityMapper",
+    "densities_from_counts",
+    "hotspot_profile",
+    "peak_hour_series",
+    "CongestionAwareRouter",
+    "congested_speeds",
+    "congested_travel_times",
+    "ODMatrix",
+    "gravity_model",
+    "trips_from_od",
+    "TrafficSignal",
+    "signalize",
+    "moving_average",
+    "exponential_smoothing",
+    "interval_aggregate",
+]

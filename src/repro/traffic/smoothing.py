@@ -1,0 +1,91 @@
+"""Temporal smoothing of density series.
+
+Raw per-interval vehicle counts are noisy (a segment's occupancy
+bounces between 0 and a handful of vehicles); the partitioner sees
+cleaner structure after temporal aggregation. Three standard filters:
+
+* :func:`moving_average` — centred window mean;
+* :func:`exponential_smoothing` — EWMA along the time axis (the
+  streaming-friendly choice for live monitoring);
+* :func:`interval_aggregate` — block-mean downsampling, e.g. turning
+  30-second steps into the paper's 2-minute intervals.
+
+All operate on (timestamps x segments) arrays and preserve
+non-negativity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+
+def _check_series(series) -> np.ndarray:
+    arr = np.asarray(series, dtype=float)
+    if arr.ndim != 2:
+        raise DataError(f"series must be 2-D (T x n), got shape {arr.shape}")
+    if arr.size and arr.min() < 0:
+        raise DataError("densities must be non-negative")
+    return arr
+
+
+def moving_average(series, window: int = 5) -> np.ndarray:
+    """Centred moving average along the time axis.
+
+    Edges use the available part of the window (shorter effective
+    window at the series boundaries), so the output has the same shape
+    as the input.
+    """
+    arr = _check_series(series)
+    if window < 1:
+        raise DataError(f"window must be >= 1, got {window}")
+    if window == 1 or arr.shape[0] == 0:
+        return arr.copy()
+
+    half = window // 2
+    cumsum = np.vstack(
+        [np.zeros((1, arr.shape[1])), np.cumsum(arr, axis=0)]
+    )
+    out = np.empty_like(arr)
+    for t in range(arr.shape[0]):
+        lo = max(0, t - half)
+        hi = min(arr.shape[0], t + half + 1)
+        out[t] = (cumsum[hi] - cumsum[lo]) / (hi - lo)
+    return out
+
+
+def exponential_smoothing(series, alpha: float = 0.3) -> np.ndarray:
+    """EWMA along the time axis: ``s_t = alpha x_t + (1-alpha) s_{t-1}``.
+
+    ``alpha`` close to 1 tracks the raw signal; close to 0 smooths
+    aggressively. The first row seeds the filter.
+    """
+    arr = _check_series(series)
+    if not 0.0 < alpha <= 1.0:
+        raise DataError(f"alpha must be in (0, 1], got {alpha}")
+    out = np.empty_like(arr)
+    if arr.shape[0] == 0:
+        return out
+    out[0] = arr[0]
+    for t in range(1, arr.shape[0]):
+        out[t] = alpha * arr[t] + (1.0 - alpha) * out[t - 1]
+    return out
+
+
+def interval_aggregate(series, factor: int) -> np.ndarray:
+    """Block-mean downsampling by ``factor`` along the time axis.
+
+    ``T`` must be divisible by ``factor``; the result has ``T/factor``
+    rows, each the mean of a block of consecutive intervals — e.g.
+    ``factor=4`` turns 30 s steps into 2-minute intervals.
+    """
+    arr = _check_series(series)
+    if factor < 1:
+        raise DataError(f"factor must be >= 1, got {factor}")
+    n_steps = arr.shape[0]
+    if n_steps % factor != 0:
+        raise DataError(
+            f"series length {n_steps} not divisible by factor {factor}"
+        )
+    return arr.reshape(n_steps // factor, factor, arr.shape[1]).mean(axis=1)

@@ -1,0 +1,46 @@
+"""Random number generator plumbing.
+
+All stochastic code in the library accepts either a seed (``int``),
+``None`` (fresh entropy), or an existing :class:`numpy.random.Generator`.
+:func:`ensure_rng` canonicalises any of these into a ``Generator`` so
+results are reproducible whenever a seed is supplied.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` seed, or an existing
+        generator (returned unchanged so callers can share state).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(
+        f"seed must be None, an int, or a numpy Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn_rngs(seed: RngLike, count: int) -> list:
+    """Split ``seed`` into ``count`` independent child generators.
+
+    Used when a pipeline runs several stochastic stages that must not
+    share a stream (e.g. repeated k-means restarts inside one run).
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = ensure_rng(seed)
+    seeds = root.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,81 @@
+"""Wall-clock timing for framework modules.
+
+The paper's Table 3 reports per-module running times (road graph
+construction, supergraph mining, supergraph partitioning).
+:class:`ModuleTimer` collects those measurements inside the pipeline so
+the benchmark harness can print the same breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+
+class Timer:
+    """A context manager measuring elapsed wall-clock seconds.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     sum(range(1000))
+    499500
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+            self._start = None
+
+
+class ModuleTimer:
+    """Accumulates named timings, mirroring the paper's module breakdown."""
+
+    def __init__(self) -> None:
+        self._timings: Dict[str, float] = {}
+
+    def time(self, name: str) -> "_NamedTiming":
+        """Return a context manager that records elapsed time as ``name``."""
+        return _NamedTiming(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` onto the timing bucket ``name``."""
+        self._timings[name] = self._timings.get(name, 0.0) + float(seconds)
+
+    @property
+    def timings(self) -> Dict[str, float]:
+        """Copy of the recorded timings, in insertion order."""
+        return dict(self._timings)
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded timings in seconds."""
+        return sum(self._timings.values())
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v:.3f}s" for k, v in self._timings.items())
+        return f"ModuleTimer({parts})"
+
+
+class _NamedTiming:
+    def __init__(self, owner: ModuleTimer, name: str) -> None:
+        self._owner = owner
+        self._name = name
+        self._timer = Timer()
+
+    def __enter__(self) -> Timer:
+        return self._timer.__enter__()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._timer.__exit__(exc_type, exc, tb)
+        self._owner.add(self._name, self._timer.elapsed)

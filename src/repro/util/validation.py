@@ -1,0 +1,40 @@
+"""Argument validation helpers used across the library.
+
+These helpers raise :class:`ValueError`/:class:`TypeError` with precise
+messages so that user mistakes surface at the API boundary rather than
+deep inside numerical code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive_int(value, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_in_range(value, name: str, lo: float, hi: float) -> float:
+    """Validate ``lo <= value <= hi`` and return ``float(value)``."""
+    value = float(value)
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value}")
+    return value
+
+
+def check_probability(value, name: str) -> float:
+    """Validate that ``value`` lies in the closed unit interval."""
+    return check_in_range(value, name, 0.0, 1.0)
+
+
+def check_finite_array(values, name: str) -> np.ndarray:
+    """Coerce to a float ndarray and reject NaN/inf entries."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size and not np.isfinite(arr).all():
+        raise ValueError(f"{name} must contain only finite values")
+    return arr

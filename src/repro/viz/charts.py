@@ -1,0 +1,152 @@
+"""Dependency-free SVG charts for analysis outputs.
+
+Small scatter/line charts rendered as standalone SVG, so simulation
+analyses (MFDs, time series) are viewable without matplotlib:
+
+* :func:`render_mfd` — a region's accumulation-flow scatter with the
+  fitted MFD curve;
+* :func:`render_series` — one or more time series (e.g. per-region
+  density trajectories) as polylines.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.mfd import RegionMFD
+from repro.exceptions import DataError
+from repro.viz.svg import PALETTE
+
+_MARGIN = 45
+
+
+def _axes(width: int, height: int, title: str, x_label: str, y_label: str) -> List[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f"<title>{html.escape(title)}</title>",
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<line x1="{_MARGIN}" y1="{height - _MARGIN}" x2="{width - 15}" '
+        f'y2="{height - _MARGIN}" stroke="#444" stroke-width="1"/>',
+        f'<line x1="{_MARGIN}" y1="{height - _MARGIN}" x2="{_MARGIN}" '
+        f'y2="15" stroke="#444" stroke-width="1"/>',
+        f'<text x="{width / 2:.0f}" y="{height - 8}" font-size="12" '
+        f'text-anchor="middle" font-family="sans-serif">'
+        f"{html.escape(x_label)}</text>",
+        f'<text x="14" y="{height / 2:.0f}" font-size="12" '
+        f'text-anchor="middle" font-family="sans-serif" '
+        f'transform="rotate(-90 14 {height / 2:.0f})">'
+        f"{html.escape(y_label)}</text>",
+        f'<text x="{width / 2:.0f}" y="14" font-size="13" '
+        f'text-anchor="middle" font-family="sans-serif" font-weight="bold">'
+        f"{html.escape(title)}</text>",
+    ]
+
+
+def _scale(values: np.ndarray, lo_px: float, hi_px: float):
+    vmin = float(values.min()) if values.size else 0.0
+    vmax = float(values.max()) if values.size else 1.0
+    span = vmax - vmin if vmax > vmin else 1.0
+
+    def scale(v):
+        return lo_px + (np.asarray(v, dtype=float) - vmin) / span * (hi_px - lo_px)
+
+    return scale
+
+
+def render_mfd(
+    mfd: RegionMFD,
+    width: int = 480,
+    height: int = 360,
+    fit_degree: int = 2,
+    title: Optional[str] = None,
+) -> str:
+    """SVG scatter of a region's MFD samples with the fitted curve."""
+    if mfd.accumulation.size == 0:
+        raise DataError("cannot render an empty MFD")
+    title = title if title is not None else f"MFD of region {mfd.region}"
+    parts = _axes(width, height, title, "accumulation (veh)", "flow (veh/step)")
+
+    sx = _scale(mfd.accumulation, _MARGIN, width - 15)
+    sy_raw = _scale(mfd.flow, 0.0, 1.0)
+    top, bottom = 15, height - _MARGIN
+
+    def sy(v):
+        return bottom - sy_raw(v) * (bottom - top)
+
+    color = PALETTE[mfd.region % len(PALETTE)]
+    for x, y in zip(mfd.accumulation, mfd.flow):
+        parts.append(
+            f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="2.5" '
+            f'fill="{color}" fill-opacity="0.55"/>'
+        )
+
+    if np.ptp(mfd.accumulation) > 1e-12 and mfd.accumulation.size > fit_degree:
+        d = min(fit_degree, np.unique(mfd.accumulation).size - 1)
+        if d >= 1:
+            coeffs = np.polyfit(mfd.accumulation, mfd.flow, d)
+            xs = np.linspace(mfd.accumulation.min(), mfd.accumulation.max(), 60)
+            ys = np.polyval(coeffs, xs)
+            points = " ".join(
+                f"{sx(x):.1f},{sy(y):.1f}" for x, y in zip(xs, ys)
+            )
+            parts.append(
+                f'<polyline points="{points}" fill="none" stroke="#222" '
+                f'stroke-width="1.5" stroke-dasharray="5,3"/>'
+            )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_series(
+    series: Dict[str, Sequence[float]],
+    width: int = 560,
+    height: int = 320,
+    title: str = "time series",
+    x_label: str = "interval",
+    y_label: str = "value",
+) -> str:
+    """SVG line chart of one or more named series over a shared x axis."""
+    if not series:
+        raise DataError("render_series needs at least one series")
+    arrays = {name: np.asarray(vals, dtype=float) for name, vals in series.items()}
+    length = {a.size for a in arrays.values()}
+    if len(length) != 1:
+        raise DataError("all series must have equal length")
+    n = length.pop()
+    if n == 0:
+        raise DataError("series are empty")
+
+    parts = _axes(width, height, title, x_label, y_label)
+    all_values = np.concatenate(list(arrays.values()))
+    sx = _scale(np.arange(n), _MARGIN, width - 15)
+    sy_raw = _scale(all_values, 0.0, 1.0)
+    top, bottom = 15, height - _MARGIN
+
+    def sy(v):
+        return bottom - sy_raw(v) * (bottom - top)
+
+    legend_y = 28
+    for idx, (name, values) in enumerate(arrays.items()):
+        color = PALETTE[idx % len(PALETTE)]
+        points = " ".join(
+            f"{sx(t):.1f},{sy(v):.1f}" for t, v in enumerate(values)
+        )
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="1.8"/>'
+        )
+        parts.append(
+            f'<rect x="{width - 150}" y="{legend_y - 9}" width="11" '
+            f'height="11" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{width - 134}" y="{legend_y}" font-size="11" '
+            f'font-family="sans-serif">{html.escape(str(name))}</text>'
+        )
+        legend_y += 16
+    parts.append("</svg>")
+    return "\n".join(parts)

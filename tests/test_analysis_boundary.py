@@ -1,0 +1,79 @@
+"""Tests for boundary analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.boundary import (
+    boundary_segments,
+    boundary_sharpness,
+    partition_neighbors,
+)
+from repro.exceptions import PartitioningError
+from repro.graph.adjacency import Graph
+
+
+@pytest.fixture
+def chain():
+    return Graph(6, edges=[(i, i + 1) for i in range(5)])
+
+
+class TestBoundarySegments:
+    def test_chain_boundary(self, chain):
+        labels = [0, 0, 0, 1, 1, 1]
+        np.testing.assert_array_equal(
+            boundary_segments(chain.adjacency, labels), [2, 3]
+        )
+
+    def test_no_boundary_single_partition(self, chain):
+        assert boundary_segments(chain.adjacency, [0] * 6).size == 0
+
+    def test_all_boundary_when_alternating(self, chain):
+        labels = [0, 1, 0, 1, 0, 1]
+        assert boundary_segments(chain.adjacency, labels).size == 6
+
+    def test_shape_checked(self, chain):
+        with pytest.raises(PartitioningError):
+            boundary_segments(chain.adjacency, [0, 1])
+
+
+class TestPartitionNeighbors:
+    def test_chain_three_partitions(self, chain):
+        labels = [0, 0, 1, 1, 2, 2]
+        neigh = partition_neighbors(chain.adjacency, labels)
+        assert neigh == {0: [1], 1: [0, 2], 2: [1]}
+
+    def test_isolated_partition(self):
+        g = Graph(4, edges=[(0, 1), (2, 3)])
+        neigh = partition_neighbors(g.adjacency, [0, 0, 1, 1])
+        assert neigh == {0: [], 1: []}
+
+
+class TestBoundarySharpness:
+    def test_step_boundary(self, chain):
+        feats = [0.0, 0.0, 0.0, 1.0, 1.0, 1.0]
+        sharp = boundary_sharpness(feats, [0, 0, 0, 1, 1, 1], chain.adjacency)
+        assert sharp == {(0, 1): pytest.approx(1.0)}
+
+    def test_flat_boundary_zero(self, chain):
+        feats = [0.5] * 6
+        sharp = boundary_sharpness(feats, [0, 0, 0, 1, 1, 1], chain.adjacency)
+        assert sharp[(0, 1)] == pytest.approx(0.0)
+
+    def test_multiple_boundaries(self, chain):
+        feats = [0.0, 0.0, 1.0, 1.0, 3.0, 3.0]
+        sharp = boundary_sharpness(
+            feats, [0, 0, 1, 1, 2, 2], chain.adjacency
+        )
+        assert sharp[(0, 1)] == pytest.approx(1.0)
+        assert sharp[(1, 2)] == pytest.approx(2.0)
+
+    def test_averages_over_links(self):
+        # two links cross the boundary with different steps
+        g = Graph(4, edges=[(0, 2), (1, 3), (0, 1), (2, 3)])
+        feats = [0.0, 0.0, 1.0, 3.0]
+        sharp = boundary_sharpness(feats, [0, 0, 1, 1], g.adjacency)
+        assert sharp[(0, 1)] == pytest.approx(2.0)  # (1 + 3) / 2
+
+    def test_feature_shape_checked(self, chain):
+        with pytest.raises(PartitioningError):
+            boundary_sharpness([0.0, 1.0], [0] * 6, chain.adjacency)

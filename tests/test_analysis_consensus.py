@@ -1,0 +1,133 @@
+"""Tests for consensus partitioning across snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.consensus import (
+    coassociation_matrix,
+    consensus_partition,
+    stability_map,
+)
+from repro.exceptions import PartitioningError
+from repro.graph.adjacency import Graph
+from repro.metrics.validation import check_connectivity
+
+
+@pytest.fixture
+def chain():
+    return Graph(6, edges=[(i, i + 1) for i in range(5)])
+
+
+class TestCoassociation:
+    def test_identical_labelings_all_ones(self, chain):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        coassoc = coassociation_matrix(chain.adjacency, [labels, labels])
+        # within-partition links agree fully, the boundary link never
+        assert coassoc[0, 1] == 1.0
+        assert coassoc[2, 3] == 0.0
+
+    def test_half_agreement(self, chain):
+        a = np.array([0, 0, 0, 1, 1, 1])
+        b = np.array([0, 0, 1, 1, 1, 1])
+        coassoc = coassociation_matrix(chain.adjacency, [a, b])
+        assert coassoc[1, 2] == 0.5  # agree in a, not in b
+        assert coassoc[0, 1] == 1.0
+
+    def test_restricted_to_adjacency(self, chain):
+        labels = np.zeros(6, dtype=int)
+        coassoc = coassociation_matrix(chain.adjacency, [labels])
+        assert coassoc[0, 5] == 0.0  # not adjacent, never scored
+
+    def test_empty_labelings_rejected(self, chain):
+        with pytest.raises(PartitioningError):
+            coassociation_matrix(chain.adjacency, [])
+
+    def test_shape_mismatch_rejected(self, chain):
+        with pytest.raises(PartitioningError):
+            coassociation_matrix(chain.adjacency, [np.zeros(3, int)])
+
+
+class TestConsensusPartition:
+    def test_stable_regions_recovered(self, chain):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        consensus = consensus_partition(chain.adjacency, [labels] * 3)
+        assert consensus[0] == consensus[2]
+        assert consensus[3] == consensus[5]
+        assert consensus[0] != consensus[3]
+
+    def test_flapping_boundary_resolved_by_majority(self, chain):
+        a = np.array([0, 0, 0, 1, 1, 1])
+        b = np.array([0, 0, 1, 1, 1, 1])  # node 2 flaps
+        consensus = consensus_partition(
+            chain.adjacency, [a, a, b], agreement=0.5
+        )
+        # majority (2/3) keeps node 2 with the left region
+        assert consensus[2] == consensus[1]
+
+    def test_k_enforced_with_connected_regions(self, chain):
+        rng = np.random.default_rng(0)
+        labelings = [rng.integers(0, 3, size=6) for __ in range(4)]
+        consensus = consensus_partition(chain.adjacency, labelings, k=2)
+        assert int(consensus.max()) + 1 == 2
+        assert check_connectivity(chain.adjacency, consensus) == []
+
+    def test_agreement_one_keeps_only_unanimous_links(self, chain):
+        a = np.array([0, 0, 0, 1, 1, 1])
+        b = np.array([0, 0, 1, 1, 1, 1])
+        consensus = consensus_partition(chain.adjacency, [a, b], agreement=1.0)
+        # link (1,2) agreed only in a -> severed -> node 2 separate
+        assert consensus[2] != consensus[1]
+        assert consensus[2] != consensus[3] or consensus[1] == consensus[3]
+
+    def test_invalid_agreement(self, chain):
+        with pytest.raises(PartitioningError):
+            consensus_partition(chain.adjacency, [np.zeros(6, int)], agreement=1.5)
+
+
+class TestStabilityMap:
+    def test_fully_stable(self, chain):
+        labels = np.array([0, 0, 0, 0, 0, 0])
+        stability = stability_map(chain.adjacency, [labels, labels])
+        np.testing.assert_allclose(stability, 1.0)
+
+    def test_boundary_nodes_less_stable(self, chain):
+        a = np.array([0, 0, 0, 1, 1, 1])
+        b = np.array([0, 0, 1, 1, 1, 1])
+        stability = stability_map(chain.adjacency, [a, b])
+        assert stability[2] < stability[0]
+        assert stability[2] < stability[5]
+
+    def test_in_unit_interval(self, chain, rng):
+        labelings = [rng.integers(0, 3, size=6) for __ in range(5)]
+        stability = stability_map(chain.adjacency, labelings)
+        assert (stability >= 0).all() and (stability <= 1).all()
+
+
+class TestAlphacutConsensus:
+    def test_balanced_regions_from_drifting_snapshots(self, chain, rng):
+        labelings = [rng.integers(0, 2, size=6) for __ in range(4)]
+        consensus = consensus_partition(
+            chain.adjacency, labelings, k=2, method="alphacut", seed=0
+        )
+        assert int(consensus.max()) + 1 == 2
+        assert check_connectivity(chain.adjacency, consensus) == []
+
+    def test_recovers_stable_regions(self, chain):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        consensus = consensus_partition(
+            chain.adjacency, [labels] * 3, k=2, method="alphacut", seed=0
+        )
+        assert consensus[0] == consensus[2]
+        assert consensus[0] != consensus[5]
+
+    def test_requires_k(self, chain):
+        with pytest.raises(PartitioningError, match="requires k"):
+            consensus_partition(
+                chain.adjacency, [np.zeros(6, int)], method="alphacut"
+            )
+
+    def test_invalid_method(self, chain):
+        with pytest.raises(PartitioningError):
+            consensus_partition(
+                chain.adjacency, [np.zeros(6, int)], method="magic"
+            )

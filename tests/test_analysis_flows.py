@@ -1,0 +1,92 @@
+"""Tests for inter-region flow analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.flows import (
+    boundary_crossings,
+    internal_trip_share,
+    region_od_matrix,
+    through_traffic_share,
+)
+from repro.exceptions import DataError
+from repro.traffic.mntg import Trajectory
+
+
+@pytest.fixture
+def labels():
+    # 9 segments in three regions of three
+    return np.array([0, 0, 0, 1, 1, 1, 2, 2, 2])
+
+
+@pytest.fixture
+def trips():
+    return [
+        Trajectory(0, 0, [0, 1, 2]),          # internal to region 0
+        Trajectory(1, 0, [0, 3, 4]),          # region 0 -> 1
+        Trajectory(2, 0, [2, 3, 6, 7]),       # 0 -> 2 passing through 1
+        Trajectory(3, 0, [8, 7]),             # internal to region 2
+    ]
+
+
+class TestRegionOdMatrix:
+    def test_counts(self, trips, labels):
+        od = region_od_matrix(trips, labels)
+        assert od[0, 0] == 1
+        assert od[0, 1] == 1
+        assert od[0, 2] == 1
+        assert od[2, 2] == 1
+        assert od.sum() == 4
+
+    def test_empty_trip_skipped(self, labels):
+        od = region_od_matrix([Trajectory(0, 0, [])], labels)
+        assert od.sum() == 0
+
+    def test_invalid_labels(self, trips):
+        with pytest.raises(DataError):
+            region_od_matrix(trips, [])
+
+
+class TestBoundaryCrossings:
+    def test_crossings(self, trips, labels):
+        crossings = boundary_crossings(trips, labels)
+        assert crossings[(0, 1)] == 2  # trips 1 and 2 cross 0 -> 1
+        assert crossings[(1, 2)] == 1  # trip 2 crosses 1 -> 2
+        assert (2, 1) not in crossings
+
+    def test_no_crossings_for_internal(self, labels):
+        crossings = boundary_crossings([Trajectory(0, 0, [0, 1, 2])], labels)
+        assert crossings == {}
+
+
+class TestThroughTraffic:
+    def test_pass_through_counted(self, trips, labels):
+        # region 1: trip 1 ends there (anchored), trip 2 passes through
+        share = through_traffic_share(trips, labels, 1)
+        assert share == pytest.approx(0.5)
+
+    def test_no_through_traffic(self, trips, labels):
+        assert through_traffic_share(trips, labels, 0) == 0.0
+
+    def test_untouched_region(self, labels):
+        assert through_traffic_share([], labels, 2) == 0.0
+
+    def test_region_range_checked(self, trips, labels):
+        with pytest.raises(DataError):
+            through_traffic_share(trips, labels, 9)
+
+
+class TestInternalShare:
+    def test_self_contained_region(self, trips, labels):
+        shares = internal_trip_share(trips, labels)
+        # region 2: one internal trip, one arriving (trip 2) -> 1/2
+        assert shares[2] == pytest.approx(0.5)
+        # region 0: one internal, two departing -> 1/3
+        assert shares[0] == pytest.approx(1 / 3)
+
+    def test_bounds(self, trips, labels, rng):
+        random_trips = [
+            Trajectory(i, 0, list(rng.integers(0, 9, size=4))) for i in range(20)
+        ]
+        shares = internal_trip_share(random_trips, labels)
+        assert (shares >= 0).all() and (shares <= 1).all()

@@ -1,0 +1,109 @@
+"""Tests for region genealogy (merge/split detection)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.genealogy import (
+    Transition,
+    classify_transition,
+    genealogy,
+    overlap_matrix,
+)
+from repro.exceptions import PartitioningError
+
+
+class TestOverlapMatrix:
+    def test_counts(self):
+        prev = np.array([0, 0, 1, 1])
+        cur = np.array([0, 1, 1, 1])
+        overlap = overlap_matrix(prev, cur)
+        assert overlap[0, 0] == 1
+        assert overlap[0, 1] == 1
+        assert overlap[1, 1] == 2
+
+    def test_shape_mismatch(self):
+        with pytest.raises(PartitioningError):
+            overlap_matrix([0, 1], [0, 1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(PartitioningError):
+            overlap_matrix([], [])
+
+
+class TestClassifyTransition:
+    def test_identity_is_continuation(self):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        t = classify_transition(labels, labels)
+        assert sorted(t.continuations) == [(0, 0), (1, 1)]
+        assert not t.splits and not t.merges
+        assert not t.appeared and not t.disappeared
+
+    def test_relabelled_continuation(self):
+        prev = np.array([0, 0, 0, 1, 1, 1])
+        cur = np.array([1, 1, 1, 0, 0, 0])
+        t = classify_transition(prev, cur)
+        assert sorted(t.continuations) == [(0, 1), (1, 0)]
+
+    def test_split_detected(self):
+        prev = np.array([0, 0, 0, 0, 1, 1])
+        cur = np.array([0, 0, 2, 2, 1, 1])
+        t = classify_transition(prev, cur)
+        assert t.splits == {0: [0, 2]}
+        assert (1, 1) in t.continuations
+
+    def test_merge_detected(self):
+        prev = np.array([0, 0, 2, 2, 1, 1])
+        cur = np.array([0, 0, 0, 0, 1, 1])
+        t = classify_transition(prev, cur)
+        assert t.merges == {0: [0, 2]}
+        assert (1, 1) in t.continuations
+
+    def test_boundary_churn_still_continuation(self):
+        prev = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        cur = np.array([0, 0, 0, 1, 1, 1, 1, 1])  # one node drifted
+        t = classify_transition(prev, cur, threshold=0.6)
+        assert sorted(t.continuations) == [(0, 0), (1, 1)]
+        assert not t.splits and not t.merges
+
+    def test_three_way_split(self):
+        prev = np.zeros(9, dtype=int)
+        cur = np.array([0, 0, 0, 1, 1, 1, 2, 2, 2])
+        t = classify_transition(prev, cur)
+        assert t.splits == {0: [0, 1, 2]}
+
+    def test_invalid_threshold(self):
+        labels = np.array([0, 1])
+        with pytest.raises(PartitioningError):
+            classify_transition(labels, labels, threshold=0.3)
+        with pytest.raises(PartitioningError):
+            classify_transition(labels, labels, threshold=1.5)
+
+
+class TestGenealogy:
+    def test_sequence(self):
+        a = np.array([0, 0, 0, 0, 1, 1])
+        b = np.array([0, 0, 2, 2, 1, 1])  # 0 splits
+        c = np.array([0, 0, 0, 0, 1, 1])  # merges back
+        transitions = genealogy([a, b, c])
+        assert len(transitions) == 2
+        assert transitions[0].splits == {0: [0, 2]}
+        assert transitions[1].merges == {0: [0, 2]}
+
+    def test_needs_two(self):
+        with pytest.raises(PartitioningError):
+            genealogy([np.array([0, 1])])
+
+    def test_on_real_tracker_output(self, small_grid_graph):
+        """Genealogy composes with the tracker on real partitionings."""
+        from repro.pipeline.schemes import run_scheme
+
+        rng = np.random.default_rng(0)
+        feats = np.asarray(small_grid_graph.features)
+        labelings = []
+        for factor in (1.0, 1.1, 2.0):
+            g = small_grid_graph.with_features(feats * factor)
+            labelings.append(run_scheme("ASG", g, 3, seed=0).labels)
+        transitions = genealogy(labelings)
+        assert len(transitions) == 2
+        for t in transitions:
+            assert isinstance(t, Transition)

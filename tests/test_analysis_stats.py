@@ -1,0 +1,93 @@
+"""Tests for per-region congestion reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    JAM_DENSITY,
+    CongestionLevel,
+    classify_level,
+    partition_report,
+)
+from repro.exceptions import PartitioningError
+from repro.network.generators import grid_network
+
+
+class TestClassifyLevel:
+    def test_free_flow(self):
+        assert classify_level(0.01) is CongestionLevel.FREE_FLOW
+
+    def test_moderate(self):
+        assert classify_level(0.05) is CongestionLevel.MODERATE
+
+    def test_dense(self):
+        assert classify_level(0.1) is CongestionLevel.DENSE
+
+    def test_jammed(self):
+        assert classify_level(0.15) is CongestionLevel.JAMMED
+
+    def test_thresholds_scale_with_jam_density(self):
+        assert classify_level(0.15, jam_density=1.0) is CongestionLevel.FREE_FLOW
+
+    def test_negative_density_rejected(self):
+        with pytest.raises(PartitioningError):
+            classify_level(-0.1)
+
+    def test_bad_jam_density_rejected(self):
+        with pytest.raises(PartitioningError):
+            classify_level(0.1, jam_density=0.0)
+
+
+class TestPartitionReport:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return grid_network(4, 4, spacing=100.0, two_way=True)
+
+    def test_report_fields(self, network):
+        rng = np.random.default_rng(0)
+        densities = rng.random(network.n_segments) * 0.1
+        labels = np.zeros(network.n_segments, dtype=int)
+        labels[network.n_segments // 2 :] = 1
+        reports = partition_report(network, labels, densities)
+        assert len(reports) == 2
+        for report in reports:
+            assert report.n_segments > 0
+            assert report.total_length_km > 0
+            assert 0 <= report.mean_density <= 0.1
+            assert report.max_density >= report.mean_density
+            assert isinstance(report.level, CongestionLevel)
+
+    def test_sizes_sum_to_network(self, network):
+        labels = np.arange(network.n_segments) % 3
+        densities = np.full(network.n_segments, 0.01)
+        reports = partition_report(network, labels, densities)
+        assert sum(r.n_segments for r in reports) == network.n_segments
+
+    def test_lengths_sum_to_network(self, network):
+        labels = np.arange(network.n_segments) % 2
+        densities = np.zeros(network.n_segments)
+        reports = partition_report(network, labels, densities)
+        total = sum(r.total_length_km for r in reports)
+        assert total == pytest.approx(network.total_length() / 1000.0)
+
+    def test_uses_stored_densities_by_default(self, network):
+        network.set_densities(np.full(network.n_segments, 0.14))
+        labels = np.zeros(network.n_segments, dtype=int)
+        reports = partition_report(network, labels)
+        assert reports[0].level is CongestionLevel.JAMMED
+
+    def test_str_representation(self, network):
+        labels = np.zeros(network.n_segments, dtype=int)
+        densities = np.full(network.n_segments, 0.01)
+        text = str(partition_report(network, labels, densities)[0])
+        assert "region 0" in text and "free_flow" in text
+
+    def test_empty_partition_rejected(self, network):
+        labels = np.zeros(network.n_segments, dtype=int)
+        labels[0] = 2  # id 1 missing
+        with pytest.raises(PartitioningError):
+            partition_report(network, labels, np.zeros(network.n_segments))
+
+    def test_shape_mismatch_rejected(self, network):
+        with pytest.raises(PartitioningError):
+            partition_report(network, [0, 1], None)

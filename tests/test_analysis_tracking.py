@@ -1,0 +1,132 @@
+"""Tests for partition tracking across time."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tracking import PartitionTracker, churn, match_partitions
+from repro.exceptions import PartitioningError
+from repro.network.dual import build_road_graph
+from repro.network.generators import grid_network
+from repro.traffic.profiles import peak_hour_series
+
+
+class TestMatchPartitions:
+    def test_identity(self):
+        ref = np.array([0, 0, 1, 1, 2])
+        np.testing.assert_array_equal(match_partitions(ref, ref), ref)
+
+    def test_permuted_labels_restored(self):
+        ref = np.array([0, 0, 1, 1, 2, 2])
+        permuted = np.array([2, 2, 0, 0, 1, 1])
+        np.testing.assert_array_equal(match_partitions(ref, permuted), ref)
+
+    def test_partial_overlap(self):
+        ref = np.array([0, 0, 0, 1, 1, 1])
+        cur = np.array([1, 1, 0, 0, 0, 0])  # label 1 mostly overlaps ref 0
+        matched = match_partitions(ref, cur)
+        # the majority block (last four) overlaps ref 1 with 3 items;
+        # first two overlap ref 0
+        assert matched[0] == 0
+        assert matched[3] == 1
+
+    def test_more_partitions_than_reference(self):
+        ref = np.array([0, 0, 0, 0])
+        cur = np.array([0, 0, 1, 1])
+        matched = match_partitions(ref, cur)
+        assert set(matched.tolist()) == {0, 1}
+        assert matched.max() == 1  # fresh id above ref range
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(PartitioningError):
+            match_partitions([0, 1], [0, 1, 2])
+
+    def test_empty(self):
+        assert match_partitions([], []).size == 0
+
+
+class TestChurn:
+    def test_no_change(self):
+        assert churn([0, 1, 1], [0, 1, 1]) == 0.0
+
+    def test_full_change(self):
+        assert churn([0, 0, 0], [1, 1, 1]) == 1.0
+
+    def test_partial(self):
+        assert churn([0, 0, 1, 1], [0, 1, 1, 1]) == pytest.approx(0.25)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(PartitioningError):
+            churn([0], [0, 1])
+
+
+class TestPartitionTracker:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        network = grid_network(6, 6, two_way=True)
+        graph = build_road_graph(network)
+        series = peak_hour_series(network, n_steps=12, seed=0)
+        return graph, series
+
+    def test_run_produces_records(self, setup):
+        graph, series = setup
+        tracker = PartitionTracker(graph, k=3, seed=0)
+        records = tracker.run(series, timestamps=[0, 5, 10])
+        assert len(records) == 3
+        assert records[0].churn == 0.0
+        assert all(r.labels.shape == (graph.n_nodes,) for r in records)
+
+    def test_stable_pattern_low_churn(self, setup):
+        """peak_hour_series keeps the spatial pattern fixed, so the
+        regions barely move between snapshots."""
+        graph, series = setup
+        tracker = PartitionTracker(graph, k=3, seed=0)
+        tracker.run(series, timestamps=[2, 4, 6])
+        assert tracker.churn_series()[1:].max() < 0.3
+
+    def test_contrast_series(self, setup):
+        graph, series = setup
+        tracker = PartitionTracker(graph, k=3, seed=0)
+        tracker.run(series, timestamps=[0, 6])
+        contrasts = tracker.contrast_series()
+        assert contrasts.shape == (2,)
+        assert (contrasts >= 0).all()
+
+    def test_region_trajectory(self, setup):
+        graph, series = setup
+        tracker = PartitionTracker(graph, k=3, seed=0)
+        tracker.run(series, timestamps=[0, 5, 10])
+        trajectory = tracker.region_trajectory(0)
+        assert trajectory.shape == (3,)
+        assert np.isfinite(trajectory).all()
+
+    def test_bad_series_rejected(self, setup):
+        graph, __ = setup
+        tracker = PartitionTracker(graph, k=3, seed=0)
+        with pytest.raises(PartitioningError):
+            tracker.run(np.ones(5))
+
+
+class TestSparseRegionIds:
+    def test_gapped_ids_have_nan_safe_summaries(self, rng):
+        """Cross-snapshot matching can leave gaps in region ids; the
+        record summaries must ignore the absent ids (regression for a
+        NaN leak in max/min/contrast)."""
+        from repro.analysis.tracking import SnapshotRecord
+
+        labels = np.array([0, 0, 3, 3])  # ids 1, 2 absent
+        means = np.full(4, np.nan)
+        means[0], means[3] = 0.1, 0.5
+        record = SnapshotRecord(t=0, labels=labels, churn=0.0, region_means=means)
+        assert record.max_mean == pytest.approx(0.5)
+        assert record.min_mean == pytest.approx(0.1)
+        assert record.contrast == pytest.approx(0.4)
+
+    def test_observe_after_region_loss(self):
+        """A tracker run where a later snapshot has fewer regions must
+        not produce NaN contrast."""
+        network = grid_network(5, 5, two_way=True)
+        graph = build_road_graph(network)
+        series = peak_hour_series(network, n_steps=12, seed=1)
+        tracker = PartitionTracker(graph, k=3, seed=0)
+        tracker.run(series, timestamps=[0, 5, 10])
+        assert np.isfinite(tracker.contrast_series()).all()

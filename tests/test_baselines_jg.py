@@ -1,0 +1,62 @@
+"""Tests for the Ji & Geroliminis comparator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ji_geroliminis import JiGeroliminisPartitioner
+from repro.exceptions import PartitioningError
+from repro.graph.components import is_connected
+from repro.metrics.distances import intra_metric
+
+
+class TestJiGeroliminis:
+    def test_produces_k_partitions(self, small_grid_graph):
+        for k in (2, 4):
+            labels = JiGeroliminisPartitioner(k, seed=0).partition(
+                small_grid_graph
+            )
+            assert labels.max() + 1 == k
+            assert labels.shape == (small_grid_graph.n_nodes,)
+
+    def test_partitions_connected(self, small_grid_graph):
+        labels = JiGeroliminisPartitioner(3, seed=0).partition(small_grid_graph)
+        for i in range(labels.max() + 1):
+            members = np.flatnonzero(labels == i)
+            assert is_connected(small_grid_graph.adjacency, members)
+
+    def test_boundary_adjustment_improves_homogeneity(self, small_grid_graph):
+        """With adjustment sweeps the intra metric should not get worse
+        compared to the unadjusted result."""
+        raw = JiGeroliminisPartitioner(4, max_sweeps=0, seed=0).partition(
+            small_grid_graph
+        )
+        adjusted = JiGeroliminisPartitioner(4, max_sweeps=10, seed=0).partition(
+            small_grid_graph
+        )
+        feats = small_grid_graph.features
+        assert intra_metric(feats, adjusted) <= intra_metric(feats, raw) + 1e-9
+
+    def test_deterministic_given_seed(self, small_grid_graph):
+        a = JiGeroliminisPartitioner(3, seed=4).partition(small_grid_graph)
+        b = JiGeroliminisPartitioner(3, seed=4).partition(small_grid_graph)
+        np.testing.assert_array_equal(a, b)
+
+    def test_requires_graph_instance(self, small_grid_graph):
+        with pytest.raises(PartitioningError, match="road Graph"):
+            JiGeroliminisPartitioner(2).partition(small_grid_graph.adjacency)
+
+    def test_invalid_params(self):
+        with pytest.raises(PartitioningError):
+            JiGeroliminisPartitioner(0)
+        with pytest.raises(PartitioningError):
+            JiGeroliminisPartitioner(2, overpartition_factor=0)
+        with pytest.raises(PartitioningError):
+            JiGeroliminisPartitioner(2, max_sweeps=-1)
+
+    def test_k_too_large_rejected(self, two_cliques):
+        with pytest.raises(PartitioningError):
+            JiGeroliminisPartitioner(100).partition(two_cliques)
+
+    def test_two_cliques(self, two_cliques):
+        labels = JiGeroliminisPartitioner(2, seed=0).partition(two_cliques)
+        assert labels.max() + 1 == 2

@@ -1,0 +1,87 @@
+"""Tests for Kernighan-Lin refinement."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.kernighan_lin import cut_weight, kernighan_lin_refine
+from repro.exceptions import PartitioningError
+from repro.graph.adjacency import Graph
+
+
+class TestCutWeight:
+    def test_bridge(self, two_cliques):
+        labels = np.array([0] * 4 + [1] * 4)
+        assert cut_weight(two_cliques.adjacency, labels) == pytest.approx(1.0)
+
+    def test_no_cut(self, two_cliques):
+        assert cut_weight(two_cliques.adjacency, np.zeros(8, dtype=int)) == 0.0
+
+    def test_weighted(self):
+        g = Graph(3, edges=[(0, 1, 0.5), (1, 2, 2.0)])
+        assert cut_weight(g.adjacency, [0, 0, 1]) == pytest.approx(2.0)
+
+    def test_shape_checked(self, two_cliques):
+        with pytest.raises(PartitioningError):
+            cut_weight(two_cliques.adjacency, [0, 1])
+
+
+class TestKernighanLinRefine:
+    def test_repairs_swapped_nodes(self, two_cliques):
+        """Start from the optimal split with two nodes swapped; KL must
+        find its way back."""
+        labels = np.array([0, 0, 0, 1, 0, 1, 1, 1])  # 3 and 4 swapped
+        refined = kernighan_lin_refine(two_cliques.adjacency, labels)
+        assert cut_weight(two_cliques.adjacency, refined) == pytest.approx(1.0)
+
+    def test_never_increases_cut(self, two_cliques, rng):
+        for __ in range(5):
+            labels = rng.integers(0, 2, size=8)
+            if labels.min() == labels.max():
+                continue
+            before = cut_weight(two_cliques.adjacency, labels)
+            refined = kernighan_lin_refine(two_cliques.adjacency, labels)
+            assert cut_weight(two_cliques.adjacency, refined) <= before + 1e-12
+
+    def test_respects_balance(self, two_cliques):
+        labels = np.array([0, 1, 1, 1, 1, 1, 1, 1])
+        refined = kernighan_lin_refine(
+            two_cliques.adjacency, labels, balance_tolerance=0.4
+        )
+        sizes = np.bincount(refined, minlength=2)
+        assert sizes.min() >= 1
+
+    def test_zero_passes_noop(self, two_cliques):
+        labels = np.array([0, 1] * 4)
+        refined = kernighan_lin_refine(
+            two_cliques.adjacency, labels, max_passes=0
+        )
+        np.testing.assert_array_equal(refined, labels)
+
+    def test_optimal_input_unchanged_cut(self, two_cliques):
+        labels = np.array([0] * 4 + [1] * 4)
+        refined = kernighan_lin_refine(two_cliques.adjacency, labels)
+        assert cut_weight(two_cliques.adjacency, refined) == pytest.approx(1.0)
+
+    def test_invalid_labels_rejected(self, two_cliques):
+        with pytest.raises(PartitioningError):
+            kernighan_lin_refine(two_cliques.adjacency, np.full(8, 2))
+
+    def test_invalid_params_rejected(self, two_cliques):
+        labels = np.array([0] * 4 + [1] * 4)
+        with pytest.raises(PartitioningError):
+            kernighan_lin_refine(two_cliques.adjacency, labels, max_passes=-1)
+        with pytest.raises(PartitioningError):
+            kernighan_lin_refine(
+                two_cliques.adjacency, labels, balance_tolerance=0.9
+            )
+
+    def test_ring_graph(self):
+        """On an even ring the optimal bisection cuts exactly 2 edges."""
+        n = 12
+        g = Graph(n, edges=[(i, (i + 1) % n) for i in range(n)])
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=n)
+        if labels.min() == labels.max():
+            labels[0] = 1 - labels[0]
+        refined = kernighan_lin_refine(g.adjacency, labels)
+        assert cut_weight(g.adjacency, refined) <= 4.0  # near-optimal

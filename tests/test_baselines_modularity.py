@@ -1,0 +1,64 @@
+"""Tests for spectral modularity and its duality with alpha-Cut."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.modularity import (
+    modularity_value,
+    spectral_modularity_partition,
+)
+from repro.core.spectral import spectral_partition
+from repro.exceptions import PartitioningError
+
+
+class TestModularityValue:
+    def test_good_split_positive(self, two_cliques):
+        labels = np.array([0] * 4 + [1] * 4)
+        assert modularity_value(two_cliques.adjacency, labels) > 0.3
+
+    def test_single_partition_zero(self, two_cliques):
+        labels = np.zeros(8, dtype=int)
+        assert modularity_value(two_cliques.adjacency, labels) == pytest.approx(
+            0.0
+        )
+
+    def test_bounded_above_by_one(self, two_cliques, rng):
+        for __ in range(5):
+            labels = rng.integers(0, 3, size=8)
+            __, labels = np.unique(labels, return_inverse=True)
+            assert modularity_value(two_cliques.adjacency, labels) <= 1.0
+
+    def test_empty_graph_zero(self):
+        import scipy.sparse as sp
+
+        assert modularity_value(sp.csr_matrix((3, 3)), [0, 0, 1]) == 0.0
+
+    def test_shape_checked(self, two_cliques):
+        with pytest.raises(PartitioningError):
+            modularity_value(two_cliques.adjacency, [0])
+
+
+class TestSpectralModularityPartition:
+    def test_separates_cliques(self, two_cliques):
+        labels = spectral_modularity_partition(two_cliques.adjacency, 2, seed=0)
+        assert labels[0] == labels[3]
+        assert labels[0] != labels[4]
+
+    def test_same_partition_as_alpha_cut(self, two_cliques):
+        """The paper's equivalence: B = -M implies the same embedding
+        hence the same partitioning for a clean two-cluster graph."""
+        mod = spectral_modularity_partition(two_cliques.adjacency, 2, seed=0)
+        alpha = spectral_partition(two_cliques.adjacency, 2, seed=0)
+        # identical up to label permutation
+        agreement = max(
+            (mod == alpha).mean(), (mod == 1 - alpha).mean()
+        )
+        assert agreement == 1.0
+
+    def test_k_one(self, two_cliques):
+        labels = spectral_modularity_partition(two_cliques.adjacency, 1)
+        assert labels.max() == 0
+
+    def test_invalid_k(self, two_cliques):
+        with pytest.raises(PartitioningError):
+            spectral_modularity_partition(two_cliques.adjacency, 0)

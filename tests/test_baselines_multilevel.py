@@ -1,0 +1,137 @@
+"""Tests for the multilevel partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.kernighan_lin import cut_weight
+from repro.baselines.multilevel import (
+    MultilevelPartitioner,
+    coarsen,
+    heavy_edge_matching,
+)
+from repro.exceptions import PartitioningError
+from repro.graph.adjacency import Graph
+
+
+class TestHeavyEdgeMatching:
+    def test_halves_node_count_roughly(self, rng):
+        n = 40
+        g = Graph(n, edges=[(i, (i + 1) % n) for i in range(n)])
+        coarse_of = heavy_edge_matching(g.adjacency, rng)
+        n_coarse = coarse_of.max() + 1
+        assert n / 2 <= n_coarse < n
+
+    def test_prefers_heavy_edges(self, rng):
+        # triangle with one heavy edge: the heavy pair must merge
+        g = Graph(3, edges=[(0, 1, 10.0), (1, 2, 0.1), (0, 2, 0.1)])
+        coarse_of = heavy_edge_matching(g.adjacency, rng)
+        assert coarse_of[0] == coarse_of[1]
+        assert coarse_of[2] != coarse_of[0]
+
+    def test_isolated_nodes_stay_alone(self, rng):
+        g = Graph(3, edges=[(0, 1)])
+        coarse_of = heavy_edge_matching(g.adjacency, rng)
+        assert coarse_of.max() + 1 == 2
+
+    def test_dense_output_ids(self, rng):
+        n = 20
+        g = Graph(n, edges=[(i, (i + 1) % n) for i in range(n)])
+        coarse_of = heavy_edge_matching(g.adjacency, rng)
+        assert set(coarse_of.tolist()) == set(range(coarse_of.max() + 1))
+
+
+class TestCoarsen:
+    def test_weights_accumulate(self):
+        # square 0-1-2-3; contract (0,1) and (2,3)
+        g = Graph(4, edges=[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (3, 0, 3.0)])
+        coarse_of = np.array([0, 0, 1, 1])
+        coarse = coarsen(g.adjacency, coarse_of)
+        assert coarse.shape == (2, 2)
+        # cross edges (1,2) w=2 and (3,0) w=3 accumulate
+        assert coarse[0, 1] == pytest.approx(5.0)
+
+    def test_self_loops_dropped(self):
+        g = Graph(2, edges=[(0, 1, 1.0)])
+        coarse = coarsen(g.adjacency, np.array([0, 0]))
+        assert coarse.nnz == 0
+
+    def test_total_cross_weight_preserved(self, rng):
+        n = 16
+        g = Graph(n, edges=[(i, (i + 1) % n, float(i + 1)) for i in range(n)])
+        coarse_of = heavy_edge_matching(g.adjacency, rng)
+        coarse = coarsen(g.adjacency, coarse_of)
+        # every uncollapsed edge keeps its weight
+        collapsed = sum(
+            w for u, v, w in g.edges() if coarse_of[u] == coarse_of[v]
+        )
+        assert coarse.sum() / 2 == pytest.approx(g.total_weight() - collapsed)
+
+
+class TestMultilevelPartitioner:
+    def test_separates_cliques(self, two_cliques):
+        labels = MultilevelPartitioner(2, seed=0).partition(two_cliques)
+        assert cut_weight(two_cliques.adjacency, labels) == pytest.approx(1.0)
+
+    def test_exact_k(self, small_grid_graph):
+        for k in (2, 3, 5):
+            labels = MultilevelPartitioner(k, seed=0).partition(small_grid_graph)
+            assert len(set(labels.tolist())) == k
+
+    def test_k_one(self, two_cliques):
+        labels = MultilevelPartitioner(1, seed=0).partition(two_cliques)
+        assert labels.max() == 0
+
+    def test_reasonable_balance(self, small_grid_graph):
+        labels = MultilevelPartitioner(2, seed=0).partition(small_grid_graph)
+        sizes = np.bincount(labels, minlength=2)
+        assert sizes.min() >= small_grid_graph.n_nodes * 0.2
+
+    def test_deterministic(self, small_grid_graph):
+        a = MultilevelPartitioner(4, seed=5).partition(small_grid_graph)
+        b = MultilevelPartitioner(4, seed=5).partition(small_grid_graph)
+        np.testing.assert_array_equal(a, b)
+
+    def test_larger_graph_coarsening_path(self):
+        """A graph above coarsest_size exercises the full V-cycle."""
+        n = 200
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        edges += [(i, (i + 5) % n) for i in range(n)]
+        g = Graph(n, edges=edges)
+        labels = MultilevelPartitioner(2, coarsest_size=32, seed=0).partition(g)
+        assert len(set(labels.tolist())) == 2
+        # a ring-with-chords bisection should cut far fewer than half
+        assert cut_weight(g.adjacency, labels) < g.total_weight() / 4
+
+    def test_invalid_params(self, two_cliques):
+        with pytest.raises(PartitioningError):
+            MultilevelPartitioner(0)
+        with pytest.raises(PartitioningError):
+            MultilevelPartitioner(2, coarsest_size=2)
+        with pytest.raises(PartitioningError):
+            MultilevelPartitioner(100).partition(two_cliques)
+
+
+class TestKmeansOnlyBaseline:
+    def test_fragmentation_measured(self, small_grid_graph):
+        from repro.baselines.kmeans_only import spatial_fragmentation
+
+        labels, n_pieces = spatial_fragmentation(small_grid_graph, 4)
+        assert labels.shape == (small_grid_graph.n_nodes,)
+        # naive clustering shatters into more pieces than clusters
+        assert n_pieces >= 4
+
+    def test_clusters_track_density(self, small_grid_graph):
+        from repro.baselines.kmeans_only import kmeans_only_partition
+
+        labels = kmeans_only_partition(small_grid_graph, 3)
+        feats = np.asarray(small_grid_graph.features)
+        means = sorted(feats[labels == i].mean() for i in range(3))
+        assert means[0] < means[-1]
+
+    def test_invalid_inputs(self, small_grid_graph):
+        from repro.baselines.kmeans_only import kmeans_only_partition
+
+        with pytest.raises(PartitioningError):
+            kmeans_only_partition(small_grid_graph.adjacency, 2)
+        with pytest.raises(PartitioningError):
+            kmeans_only_partition(small_grid_graph, 0)

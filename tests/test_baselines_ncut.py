@@ -1,0 +1,75 @@
+"""Tests for the normalized-cut baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ncut import NcutPartitioner, ncut_partition, ncut_value
+from repro.exceptions import PartitioningError
+from repro.graph.components import is_connected
+from repro.supergraph.builder import build_supergraph
+
+
+class TestNcutValue:
+    def test_good_cut_lower(self, two_cliques):
+        good = np.array([0] * 4 + [1] * 4)
+        bad = np.array([0, 1] * 4)
+        adj = two_cliques.adjacency
+        assert ncut_value(adj, good) < ncut_value(adj, bad)
+
+    def test_bridge_value(self, two_cliques):
+        labels = np.array([0] * 4 + [1] * 4)
+        # cut = 1 each side; assoc(P, V) = 13 each side
+        assert ncut_value(two_cliques.adjacency, labels) == pytest.approx(2 / 13)
+
+    def test_single_partition_zero(self, two_cliques):
+        assert ncut_value(two_cliques.adjacency, np.zeros(8, dtype=int)) == 0.0
+
+    def test_bounded_by_k(self, two_cliques, rng):
+        for __ in range(5):
+            labels = rng.integers(0, 3, size=8)
+            __, labels = np.unique(labels, return_inverse=True)
+            k = labels.max() + 1
+            assert 0.0 <= ncut_value(two_cliques.adjacency, labels) <= k
+
+    def test_shape_checked(self, two_cliques):
+        with pytest.raises(PartitioningError):
+            ncut_value(two_cliques.adjacency, [0, 1])
+
+
+class TestNcutPartitioner:
+    def test_separates_cliques(self, two_cliques):
+        labels = NcutPartitioner(2, seed=0).partition(two_cliques)
+        assert labels[0] == labels[3]
+        assert labels[4] == labels[7]
+        assert labels[0] != labels[4]
+
+    def test_exact_k(self, small_grid_graph):
+        for k in (3, 5):
+            labels = NcutPartitioner(k, seed=0).partition(small_grid_graph)
+            assert labels.max() + 1 == k
+
+    def test_partitions_connected(self, small_grid_graph):
+        labels = NcutPartitioner(4, seed=2).partition(small_grid_graph)
+        for i in range(labels.max() + 1):
+            members = np.flatnonzero(labels == i)
+            assert is_connected(small_grid_graph.adjacency, members)
+
+    def test_supergraph_expansion(self, small_grid_graph):
+        sg = build_supergraph(small_grid_graph, seed=0)
+        k = min(3, sg.n_supernodes)
+        labels = NcutPartitioner(k, seed=0).partition(sg)
+        assert labels.shape == (small_grid_graph.n_nodes,)
+
+    def test_k_one(self, two_cliques):
+        labels = NcutPartitioner(1, seed=0).partition(two_cliques)
+        assert labels.max() == 0
+
+    def test_invalid_k(self, two_cliques):
+        with pytest.raises(PartitioningError):
+            NcutPartitioner(0)
+        with pytest.raises(PartitioningError):
+            NcutPartitioner(100).partition(two_cliques)
+
+    def test_helper(self, two_cliques):
+        labels = ncut_partition(two_cliques, 2, seed=0)
+        assert labels.shape == (8,)

@@ -1,0 +1,86 @@
+"""Tests for the region-growing baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.region_growing import RegionGrowingPartitioner
+from repro.exceptions import PartitioningError
+from repro.graph.adjacency import Graph
+from repro.metrics.distances import intra_metric
+from repro.metrics.validation import validate_partitioning
+
+
+class TestRegionGrowing:
+    def test_exact_k_connected(self, small_grid_graph):
+        for k in (2, 4, 6):
+            labels = RegionGrowingPartitioner(k, seed=0).partition(
+                small_grid_graph
+            )
+            validation = validate_partitioning(
+                small_grid_graph.adjacency, labels
+            )
+            assert validation.k == k
+            assert validation.is_valid
+
+    def test_grows_along_density_step(self):
+        feats = [0.0, 0.01, 0.02, 1.0, 1.01, 1.02]
+        g = Graph(6, edges=[(i, i + 1) for i in range(5)], features=feats)
+        labels = RegionGrowingPartitioner(2, seed=0).partition(g)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_beats_random_on_homogeneity(self, small_grid_graph, rng):
+        labels = RegionGrowingPartitioner(4, seed=0).partition(small_grid_graph)
+        feats = small_grid_graph.features
+        grown = intra_metric(feats, labels)
+        randoms = []
+        for __ in range(5):
+            rand = rng.integers(0, 4, size=small_grid_graph.n_nodes)
+            __, rand = np.unique(rand, return_inverse=True)
+            randoms.append(intra_metric(feats, rand))
+        assert grown <= np.median(randoms)
+
+    def test_every_node_assigned(self, small_grid_graph):
+        labels = RegionGrowingPartitioner(5, seed=1).partition(small_grid_graph)
+        assert (labels >= 0).all()
+        assert labels.shape == (small_grid_graph.n_nodes,)
+
+    def test_disconnected_graph_handled(self):
+        g = Graph(
+            6,
+            edges=[(0, 1), (1, 2), (3, 4), (4, 5)],
+            features=[0.0, 0.0, 0.0, 1.0, 1.0, 1.0],
+        )
+        labels = RegionGrowingPartitioner(2, seed=0).partition(g)
+        assert (labels >= 0).all()
+        assert len(set(labels.tolist())) == 2
+
+    def test_k_one(self, small_grid_graph):
+        labels = RegionGrowingPartitioner(1, seed=0).partition(small_grid_graph)
+        assert labels.max() == 0
+
+    def test_deterministic(self, small_grid_graph):
+        a = RegionGrowingPartitioner(3, seed=9).partition(small_grid_graph)
+        b = RegionGrowingPartitioner(3, seed=9).partition(small_grid_graph)
+        np.testing.assert_array_equal(a, b)
+
+    def test_balance_reduces_size_spread(self, small_grid_graph):
+        plain = RegionGrowingPartitioner(4, balance=0.0, seed=0).partition(
+            small_grid_graph
+        )
+        balanced = RegionGrowingPartitioner(4, balance=0.5, seed=0).partition(
+            small_grid_graph
+        )
+        spread = lambda lab: np.bincount(lab).std()  # noqa: E731
+        assert spread(balanced) <= spread(plain) + 1e-9
+
+    def test_invalid_inputs(self, small_grid_graph):
+        with pytest.raises(PartitioningError):
+            RegionGrowingPartitioner(0)
+        with pytest.raises(PartitioningError):
+            RegionGrowingPartitioner(2, balance=2.0)
+        with pytest.raises(PartitioningError):
+            RegionGrowingPartitioner(999).partition(small_grid_graph)
+        with pytest.raises(PartitioningError):
+            RegionGrowingPartitioner(2).partition(small_grid_graph.adjacency)

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.network.generators import grid_network
+from repro.network.io import save_network_json
+from repro.traffic.profiles import hotspot_profile
+
+
+class TestPartitionCommand:
+    def test_builtin_dataset(self, capsys):
+        assert main(["partition", "D1", "-k", "4", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "partitions" in out
+        assert "ans" in out
+
+    def test_json_output(self, capsys):
+        assert (
+            main(["partition", "D1", "-k", "3", "--seed", "0", "--json"]) == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["k"] == 3
+        assert "metrics" in payload
+        assert payload["connected"] in (True, False)
+
+    def test_network_file(self, tmp_path, capsys):
+        net = grid_network(5, 5, two_way=True)
+        net.set_densities(hotspot_profile(net, seed=0))
+        path = tmp_path / "net.json"
+        save_network_json(net, path)
+        assert main(["partition", str(path), "-k", "3", "--seed", "0"]) == 0
+
+    def test_labels_out(self, tmp_path):
+        out = tmp_path / "labels.csv"
+        assert (
+            main(
+                [
+                    "partition",
+                    "D1",
+                    "-k",
+                    "3",
+                    "--seed",
+                    "0",
+                    "--labels-out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        labels = np.loadtxt(out, dtype=int)
+        assert labels.max() + 1 == 3
+
+    def test_scheme_choice(self, capsys):
+        assert main(["partition", "D1", "-k", "3", "--scheme", "NG"]) == 0
+        assert "NG" in capsys.readouterr().out
+
+    def test_bad_scheme_exits(self):
+        with pytest.raises(SystemExit):
+            main(["partition", "D1", "--scheme", "XX"])
+
+
+class TestSimulateCommand:
+    def test_writes_series(self, tmp_path, capsys):
+        out = tmp_path / "series.csv"
+        code = main(
+            [
+                "simulate",
+                "D1",
+                "--vehicles",
+                "100",
+                "--steps",
+                "10",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        series = np.loadtxt(out, delimiter=",")
+        assert series.shape[0] == 10
+
+
+class TestDatasetsCommand:
+    def test_lists_requested_datasets(self, capsys):
+        assert main(["datasets", "D1", "M1-small"]) == 0
+        out = capsys.readouterr().out
+        assert "D1" in out and "M1-small" in out
+
+    def test_unknown_dataset_fails(self, capsys):
+        assert main(["datasets", "D9"]) == 1
+        assert "unknown" in capsys.readouterr().out

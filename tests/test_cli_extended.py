@@ -1,0 +1,93 @@
+"""Tests for the compare / sweep / export CLI commands."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestCompareCommand:
+    def test_prints_all_schemes(self, capsys):
+        assert main(["compare", "D1", "-k", "4", "--runs", "1"]) == 0
+        out = capsys.readouterr().out
+        for scheme in ("AG", "NG", "ASG", "NSG", "JG"):
+            assert scheme in out
+        assert "ans" in out
+
+
+class TestSweepCommand:
+    def test_writes_curves(self, tmp_path, capsys):
+        out = tmp_path / "sweep.csv"
+        code = main(
+            [
+                "sweep", "D1", "--scheme", "ASG",
+                "--k-min", "2", "--k-max", "5", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        with open(out, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert [int(r["k"]) for r in rows] == [2, 3, 4, 5]
+        assert all(float(r["ans"]) >= 0 for r in rows)
+
+    def test_invalid_range(self, tmp_path, capsys):
+        out = tmp_path / "sweep.csv"
+        assert (
+            main(
+                ["sweep", "D1", "--k-min", "5", "--k-max", "2", "--out", str(out)]
+            )
+            == 1
+        )
+
+
+class TestExportCommand:
+    def test_svg_export(self, tmp_path):
+        svg = tmp_path / "out.svg"
+        assert (
+            main(["export", "D1", "-k", "4", "--svg", str(svg)]) == 0
+        )
+        content = svg.read_text(encoding="utf-8")
+        assert content.startswith("<svg")
+        assert "partition 0" in content
+
+    def test_geojson_export(self, tmp_path):
+        path = tmp_path / "out.geojson"
+        assert (
+            main(["export", "D1", "-k", "3", "--geojson", str(path)]) == 0
+        )
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert doc["type"] == "FeatureCollection"
+        partitions = {f["properties"]["partition"] for f in doc["features"]}
+        assert partitions == {0, 1, 2}
+
+    def test_both_exports(self, tmp_path):
+        svg = tmp_path / "o.svg"
+        gj = tmp_path / "o.geojson"
+        assert (
+            main(
+                ["export", "D1", "-k", "3", "--svg", str(svg), "--geojson", str(gj)]
+            )
+            == 0
+        )
+        assert svg.exists() and gj.exists()
+
+    def test_no_outputs_fails(self, capsys):
+        assert main(["export", "D1"]) == 1
+        assert "nothing to do" in capsys.readouterr().out
+
+
+class TestAnalyzeCommand:
+    def test_prints_reports(self, capsys):
+        assert main(["analyze", "D1", "-k", "4", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "regions:" in out
+        assert "region 0" in out
+        assert "boundaries" in out
+        assert "critical segments" in out
+
+    def test_scheme_selectable(self, capsys):
+        assert main(["analyze", "D1", "-k", "3", "--scheme", "NG"]) == 0
+        assert "via NG" in capsys.readouterr().out

@@ -1,0 +1,119 @@
+"""Tests for repro.clustering.kmeans."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.kmeans import kmeans, kmeans_1d
+from repro.exceptions import ClusteringError
+
+
+class TestKmeans1d:
+    def test_two_obvious_clusters(self):
+        values = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2]
+        result = kmeans_1d(values, 2)
+        assert result.labels[0] == result.labels[1] == result.labels[2]
+        assert result.labels[3] == result.labels[4] == result.labels[5]
+        assert result.labels[0] != result.labels[3]
+
+    def test_centers_sorted(self):
+        result = kmeans_1d([5.0, 1.0, 9.0, 1.1, 5.2, 9.3], 3)
+        assert (np.diff(result.centers) >= 0).all()
+
+    def test_deterministic(self):
+        values = np.random.default_rng(0).random(100)
+        a = kmeans_1d(values, 5)
+        b = kmeans_1d(values, 5)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_order_invariant_inertia(self):
+        """The sorted-init variant gives the same solution regardless of
+        input order (it sorts internally)."""
+        rng = np.random.default_rng(1)
+        values = rng.random(60)
+        shuffled = rng.permutation(values)
+        assert kmeans_1d(values, 4).inertia == pytest.approx(
+            kmeans_1d(shuffled, 4).inertia
+        )
+
+    def test_kappa_equals_n(self):
+        values = [1.0, 2.0, 3.0]
+        result = kmeans_1d(values, 3)
+        assert result.inertia == pytest.approx(0.0)
+        assert len(set(result.labels.tolist())) == 3
+
+    def test_kappa_one(self):
+        values = [1.0, 3.0]
+        result = kmeans_1d(values, 1)
+        assert result.centers[0] == pytest.approx(2.0)
+
+    def test_all_identical_values(self):
+        result = kmeans_1d([2.0] * 10, 3)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_inertia_decreases_with_kappa(self):
+        values = np.random.default_rng(2).random(200)
+        inertias = [kmeans_1d(values, k).inertia for k in (2, 4, 8, 16)]
+        assert all(a >= b - 1e-12 for a, b in zip(inertias, inertias[1:]))
+
+    def test_invalid_kappa(self):
+        with pytest.raises(ClusteringError):
+            kmeans_1d([1.0, 2.0], 0)
+        with pytest.raises(ClusteringError):
+            kmeans_1d([1.0, 2.0], 3)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ClusteringError):
+            kmeans_1d([1.0, float("nan")], 1)
+
+    def test_assignment_is_nearest_center(self):
+        values = np.random.default_rng(3).random(100)
+        result = kmeans_1d(values, 5)
+        d = np.abs(values[:, None] - result.centers[None, :])
+        np.testing.assert_array_equal(result.labels, d.argmin(axis=1))
+
+
+class TestKmeansNd:
+    def test_two_blobs(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(loc=(0, 0), scale=0.1, size=(20, 2))
+        b = rng.normal(loc=(5, 5), scale=0.1, size=(20, 2))
+        data = np.vstack([a, b])
+        result = kmeans(data, 2, seed=0)
+        assert len(set(result.labels[:20].tolist())) == 1
+        assert len(set(result.labels[20:].tolist())) == 1
+        assert result.labels[0] != result.labels[20]
+
+    def test_reproducible_with_seed(self):
+        data = np.random.default_rng(1).random((50, 3))
+        a = kmeans(data, 4, seed=7)
+        b = kmeans(data, 4, seed=7)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_n_init_improves_or_equals(self):
+        data = np.random.default_rng(2).random((80, 2))
+        single = kmeans(data, 6, n_init=1, seed=0).inertia
+        multi = kmeans(data, 6, n_init=8, seed=0).inertia
+        assert multi <= single + 1e-9
+
+    def test_1d_input_promoted(self):
+        result = kmeans([1.0, 1.1, 5.0, 5.1], 2, seed=0)
+        assert result.centers.shape == (2, 1)
+
+    def test_no_empty_clusters(self):
+        data = np.random.default_rng(3).random((30, 2))
+        result = kmeans(data, 10, seed=0)
+        assert len(np.unique(result.labels)) == 10
+
+    def test_kappa_property(self):
+        result = kmeans(np.random.default_rng(0).random((10, 2)), 3, seed=0)
+        assert result.kappa == 3
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ClusteringError):
+            kmeans(np.ones((5, 2)), 6)
+        with pytest.raises(ClusteringError):
+            kmeans(np.ones((5, 2, 2)), 2)
+        with pytest.raises(ClusteringError):
+            kmeans(np.full((5, 2), np.nan), 2)
+        with pytest.raises(ClusteringError):
+            kmeans(np.ones((5, 2)), 2, n_init=0)

@@ -1,0 +1,98 @@
+"""Tests for exact 1-D k-means (dynamic programming)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.clustering.kmeans import kmeans_1d
+from repro.clustering.optimal1d import kmeans_1d_optimal
+from repro.exceptions import ClusteringError
+
+
+def _brute_force_inertia(values, kappa):
+    """Optimal inertia by trying every contiguous segmentation."""
+    x = np.sort(np.asarray(values, dtype=float))
+    n = x.size
+
+    def sse(seg):
+        return ((seg - seg.mean()) ** 2).sum() if seg.size else 0.0
+
+    best = np.inf
+    for cuts in itertools.combinations(range(1, n), kappa - 1):
+        bounds = (0,) + cuts + (n,)
+        total = sum(sse(x[a:b]) for a, b in zip(bounds, bounds[1:]))
+        best = min(best, total)
+    return best
+
+
+class TestKmeans1dOptimal:
+    def test_matches_brute_force(self, rng):
+        for trial in range(5):
+            values = rng.random(12)
+            for kappa in (2, 3, 4):
+                result = kmeans_1d_optimal(values, kappa)
+                expected = _brute_force_inertia(values, kappa)
+                assert result.inertia == pytest.approx(expected, abs=1e-10)
+
+    def test_never_worse_than_lloyd(self, rng):
+        for trial in range(5):
+            values = rng.random(60)
+            for kappa in (2, 5, 9):
+                optimal = kmeans_1d_optimal(values, kappa).inertia
+                lloyd = kmeans_1d(values, kappa).inertia
+                assert optimal <= lloyd + 1e-9
+
+    def test_obvious_clusters(self):
+        values = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2]
+        result = kmeans_1d_optimal(values, 2)
+        assert len(set(result.labels[:3].tolist())) == 1
+        assert result.labels[0] != result.labels[3]
+
+    def test_labels_contiguous_in_sorted_order(self, rng):
+        values = rng.random(40)
+        result = kmeans_1d_optimal(values, 5)
+        order = np.argsort(values)
+        sorted_labels = result.labels[order]
+        # labels along sorted values never decrease
+        assert (np.diff(sorted_labels) >= 0).all()
+
+    def test_centers_are_cluster_means(self, rng):
+        values = rng.random(30)
+        result = kmeans_1d_optimal(values, 4)
+        for c in range(4):
+            members = values[result.labels == c]
+            assert result.centers[c] == pytest.approx(members.mean())
+
+    def test_kappa_equals_n(self):
+        result = kmeans_1d_optimal([3.0, 1.0, 2.0], 3)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_kappa_one(self):
+        values = np.array([1.0, 2.0, 6.0])
+        result = kmeans_1d_optimal(values, 1)
+        assert result.inertia == pytest.approx(((values - 3.0) ** 2).sum())
+
+    def test_duplicates_handled(self):
+        result = kmeans_1d_optimal([1.0] * 5 + [2.0] * 5, 2)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_deterministic(self, rng):
+        values = rng.random(50)
+        a = kmeans_1d_optimal(values, 6)
+        b = kmeans_1d_optimal(values, 6)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ClusteringError):
+            kmeans_1d_optimal([1.0, 2.0], 0)
+        with pytest.raises(ClusteringError):
+            kmeans_1d_optimal([1.0], 2)
+        with pytest.raises(ClusteringError):
+            kmeans_1d_optimal([1.0, float("nan")], 1)
+
+    def test_moderate_size_fast(self, rng):
+        """The divide-and-conquer DP handles thousands of values."""
+        values = rng.random(3000)
+        result = kmeans_1d_optimal(values, 8)
+        assert result.inertia < kmeans_1d(values, 8).inertia + 1e-9

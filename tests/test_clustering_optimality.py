@@ -1,0 +1,178 @@
+"""Tests for clustering gain / balance / MCG and the kappa scan."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.kmeans import kmeans_1d
+from repro.clustering.optimality import (
+    clustering_balance,
+    clustering_gain,
+    moderated_clustering_gain,
+    scan_kappa,
+    shortlist_kappa,
+)
+from repro.exceptions import ClusteringError
+
+
+def _blobs(kappa=3, per=30, spread=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    data = np.concatenate(
+        [rng.normal(loc=5.0 * i, scale=spread, size=per) for i in range(kappa)]
+    )
+    return data
+
+
+class TestClusteringGain:
+    def test_zero_for_single_cluster(self):
+        data = _blobs(2)
+        # one cluster centred on the global mean -> gain 0
+        assert clustering_gain(data, np.zeros(len(data), dtype=int)) == pytest.approx(
+            0.0
+        )
+
+    def test_positive_for_good_split(self):
+        data = _blobs(2, per=10)
+        labels = np.array([0] * 10 + [1] * 10)
+        assert clustering_gain(data, labels) > 0.0
+
+    def test_correct_split_beats_random(self):
+        data = _blobs(2, per=20, seed=1)
+        good = np.array([0] * 20 + [1] * 20)
+        rng = np.random.default_rng(0)
+        bad = rng.permutation(good)
+        assert clustering_gain(data, good) > clustering_gain(data, bad)
+
+    def test_label_shape_mismatch(self):
+        with pytest.raises(ClusteringError):
+            clustering_gain([1.0, 2.0], [0])
+
+    def test_negative_labels_rejected(self):
+        with pytest.raises(ClusteringError):
+            clustering_gain([1.0, 2.0], [0, -1])
+
+
+class TestClusteringBalance:
+    def test_lower_for_correct_split(self):
+        data = _blobs(2, per=20, seed=1)
+        good = np.array([0] * 20 + [1] * 20)
+        bad = np.random.default_rng(0).permutation(good)
+        assert clustering_balance(data, good) < clustering_balance(data, bad)
+
+    def test_near_minimal_at_true_kappa(self):
+        """Balance at the true kappa is essentially the curve minimum
+        (ties with neighbouring kappa are possible on easy data)."""
+        data = _blobs(3, per=25, seed=2)
+        balances = {
+            k: clustering_balance(data, kmeans_1d(data, k).labels)
+            for k in range(2, 7)
+        }
+        assert balances[3] <= 1.05 * min(balances.values())
+        assert balances[3] < 0.5 * balances[2]
+
+
+class TestMCG:
+    def test_knee_at_true_kappa(self):
+        """The MCG curve rises steeply up to the true kappa and then
+        plateaus (the paper's Figure 5 shape) — the true kappa attains
+        essentially the maximum value."""
+        data = _blobs(3, per=25, seed=3)
+        mcgs = {
+            k: moderated_clustering_gain(data, kmeans_1d(data, k).labels)
+            for k in range(2, 8)
+        }
+        peak = max(mcgs.values())
+        assert mcgs[3] >= 0.99 * peak  # true kappa is at the plateau
+        assert mcgs[2] < 0.7 * mcgs[3]  # steep rise before the knee
+
+    def test_moderation_never_exceeds_gain(self):
+        """Theta2 in [0, 1] means MCG <= clustering gain."""
+        data = np.random.default_rng(4).random(100)
+        for k in (2, 5, 10):
+            labels = kmeans_1d(data, k).labels
+            assert moderated_clustering_gain(data, labels) <= clustering_gain(
+                data, labels
+            ) + 1e-9
+
+    def test_nonnegative(self):
+        data = np.random.default_rng(5).random(60)
+        labels = kmeans_1d(data, 4).labels
+        assert moderated_clustering_gain(data, labels) >= 0.0
+
+    def test_tight_clusters_less_moderated(self):
+        """Compact clusters keep more of their gain than loose ones."""
+        tight = _blobs(2, per=20, spread=0.01, seed=6)
+        loose = _blobs(2, per=20, spread=1.5, seed=6)
+        labels = np.array([0] * 20 + [1] * 20)
+        ratio_tight = moderated_clustering_gain(tight, labels) / clustering_gain(
+            tight, labels
+        )
+        ratio_loose = moderated_clustering_gain(loose, labels) / clustering_gain(
+            loose, labels
+        )
+        assert ratio_tight > ratio_loose
+
+
+class TestScanKappa:
+    def test_curve_recorded(self):
+        data = _blobs(3, per=20)
+        scan = scan_kappa(data, kappa_max=8)
+        assert scan.kappas == list(range(2, 9))
+        assert len(scan.mcg) == 7
+        # the true kappa sits on the curve's plateau
+        assert scan.mcg[scan.kappas.index(3)] >= 0.99 * scan.best_mcg
+        assert scan.best_kappa >= 3
+
+    def test_sampling(self):
+        data = _blobs(3, per=100, seed=7)
+        scan = scan_kappa(data, kappa_max=6, sample_size=60, seed=0)
+        assert scan.sampled
+        # the sample preserves the knee structure
+        assert scan.mcg[scan.kappas.index(3)] >= 0.99 * scan.best_mcg
+
+    def test_shortlist_threshold(self):
+        data = _blobs(3, per=20)
+        scan = scan_kappa(data, kappa_max=8)
+        everything = scan.shortlist(0.0)
+        assert everything == scan.kappas
+        only_best = scan.shortlist(scan.best_mcg)
+        assert scan.best_kappa in only_best
+
+    def test_shortlist_fraction(self):
+        data = _blobs(3, per=20)
+        scan = scan_kappa(data, kappa_max=8)
+        assert scan.best_kappa in scan.shortlist_fraction(1.0)
+        with pytest.raises(ClusteringError):
+            scan.shortlist_fraction(0.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ClusteringError):
+            scan_kappa([1.0, 2.0])  # too few values
+        with pytest.raises(ClusteringError):
+            scan_kappa(_blobs(2), kappa_min=1)
+        with pytest.raises(ClusteringError):
+            scan_kappa(_blobs(2, per=5), kappa_max=3, sample_size=2)
+
+
+class TestShortlistKappa:
+    def test_returns_nonempty(self):
+        data = _blobs(2, per=20)
+        shortlisted, scan = shortlist_kappa(data, kappa_max=6)
+        assert shortlisted
+        assert set(shortlisted) <= set(scan.kappas)
+
+    def test_absolute_threshold_respected(self):
+        data = _blobs(2, per=20)
+        shortlisted, scan = shortlist_kappa(
+            data, epsilon_theta=scan_kappa(data, kappa_max=6).best_mcg / 2,
+            kappa_max=6,
+        )
+        assert all(
+            scan.mcg[scan.kappas.index(k)] >= scan.best_mcg / 2 for k in shortlisted
+        )
+
+    def test_impossible_threshold_falls_back_to_best(self):
+        data = _blobs(2, per=20)
+        shortlisted, scan = shortlist_kappa(
+            data, epsilon_theta=1e12, kappa_max=6
+        )
+        assert shortlisted == [scan.best_kappa]

@@ -1,0 +1,193 @@
+"""Tests for perimeter control."""
+
+import numpy as np
+import pytest
+
+from repro.control.perimeter import PerimeterController, region_entry_segments
+from repro.exceptions import PartitioningError
+from repro.graph.adjacency import Graph
+from repro.network.dual import build_road_graph
+from repro.network.generators import grid_network
+from repro.pipeline.schemes import run_scheme
+from repro.traffic.simulator import MicroSimulator
+
+
+@pytest.fixture
+def chain():
+    return Graph(6, edges=[(i, i + 1) for i in range(5)])
+
+
+class TestRegionEntrySegments:
+    def test_chain_boundaries(self, chain):
+        labels = [0, 0, 0, 1, 1, 1]
+        np.testing.assert_array_equal(
+            region_entry_segments(chain.adjacency, labels, 0), [2]
+        )
+        np.testing.assert_array_equal(
+            region_entry_segments(chain.adjacency, labels, 1), [3]
+        )
+
+    def test_interior_region_all_sides(self, chain):
+        labels = [0, 0, 1, 1, 2, 2]
+        np.testing.assert_array_equal(
+            region_entry_segments(chain.adjacency, labels, 1), [2, 3]
+        )
+
+    def test_out_of_range_region(self, chain):
+        with pytest.raises(PartitioningError):
+            region_entry_segments(chain.adjacency, [0] * 6, 5)
+
+
+class TestPerimeterController:
+    def test_closes_above_upper(self, chain):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        ctrl = PerimeterController(chain.adjacency, labels, upper=5.0)
+        occupancy = np.array([0, 0, 0, 3, 3, 0])  # region 1 at 6 > 5
+        decision = ctrl(0, occupancy)
+        assert 1 in ctrl.currently_closed
+        # boundary inflow 2 -> 3 held, internal move 3 -> 4 free
+        assert not decision.allows(2, 3)
+        assert decision.allows(3, 4)
+
+    def test_outbound_flow_never_gated(self, chain):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        ctrl = PerimeterController(chain.adjacency, labels, upper=5.0)
+        decision = ctrl(0, np.array([0, 0, 0, 3, 3, 0]))
+        assert decision.allows(3, 2)  # leaving the closed region is free
+
+    def test_internal_departures_allowed(self, chain):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        ctrl = PerimeterController(chain.adjacency, labels, upper=5.0)
+        decision = ctrl(0, np.array([0, 0, 0, 3, 3, 0]))
+        assert decision.allows(None, 4)
+
+    def test_open_below_upper(self, chain):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        ctrl = PerimeterController(chain.adjacency, labels, upper=10.0)
+        decision = ctrl(0, np.array([1, 1, 1, 1, 1, 1]))
+        assert ctrl.currently_closed == frozenset()
+        assert decision.allows(2, 3)
+
+    def test_hysteresis(self, chain):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        ctrl = PerimeterController(
+            chain.adjacency, labels, upper=5.0, lower=2.0
+        )
+        ctrl(0, np.array([0, 0, 0, 3, 3, 0]))  # closes at 6
+        # still above lower: stays closed even though below upper
+        decision = ctrl(1, np.array([0, 0, 0, 2, 1, 0]))
+        assert not decision.allows(2, 3)
+        # below lower: reopens
+        decision = ctrl(2, np.array([0, 0, 0, 1, 0, 0]))
+        assert decision.allows(2, 3)
+
+    def test_protected_subset(self, chain):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        ctrl = PerimeterController(
+            chain.adjacency, labels, upper=1.0, protected=[1]
+        )
+        decision = ctrl(0, np.array([5, 5, 5, 0, 0, 0]))  # region 0 loaded
+        assert ctrl.currently_closed == frozenset()
+        assert decision.allows(3, 2)
+
+    def test_per_region_setpoints(self, chain):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        ctrl = PerimeterController(
+            chain.adjacency, labels, upper={0: 100.0, 1: 2.0}
+        )
+        decision = ctrl(0, np.array([0, 0, 0, 3, 0, 0]))
+        assert not decision.allows(2, 3)
+
+    def test_history_recorded(self, chain):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        ctrl = PerimeterController(chain.adjacency, labels, upper=100.0)
+        ctrl(0, np.zeros(6, dtype=int))
+        ctrl(1, np.zeros(6, dtype=int))
+        assert len(ctrl.gate_history) == 2
+
+    def test_validation(self, chain):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        with pytest.raises(PartitioningError):
+            PerimeterController(chain.adjacency, labels, upper=0.0)
+        with pytest.raises(PartitioningError):
+            PerimeterController(
+                chain.adjacency, labels, upper=5.0, lower=6.0
+            )
+        with pytest.raises(PartitioningError):
+            PerimeterController(chain.adjacency, labels, upper={0: 5.0})
+        with pytest.raises(PartitioningError):
+            PerimeterController(
+                chain.adjacency, labels, upper=5.0, protected=[7]
+            )
+
+
+class TestPerimeterInSimulation:
+    def test_control_caps_region_accumulation(self):
+        """Gating a protected region keeps its peak accumulation below
+        the uncontrolled run's."""
+        network = grid_network(6, 6, spacing=100.0, two_way=True)
+        graph = build_road_graph(network)
+        # partition and protect the busiest region
+        from repro.traffic.profiles import hotspot_profile
+
+        dens = hotspot_profile(network, n_hotspots=1, noise=0.0, seed=0)
+        labels = run_scheme("ASG", graph.with_features(dens), 4, seed=0).labels
+
+        sim = MicroSimulator(network, seed=0)
+        free = sim.run(n_vehicles=400, n_steps=50, centre_bias=4.0)
+        free_acc = np.array(
+            [free.counts[:, labels == r].sum(axis=1).max() for r in range(4)]
+        )
+        busiest = int(np.argmax(free_acc))
+        setpoint = 0.6 * free_acc[busiest]
+
+        ctrl = PerimeterController(
+            graph.adjacency,
+            labels,
+            upper=setpoint,
+            protected=[busiest],
+            max_inflow_per_step=2,
+        )
+        sim2 = MicroSimulator(network, seed=0)
+        gated = sim2.run(
+            n_vehicles=400, n_steps=50, centre_bias=4.0, gate=ctrl
+        )
+        gated_peak = gated.counts[:, labels == busiest].sum(axis=1).max()
+        assert gated_peak < free_acc[busiest]
+
+
+class TestInflowMetering:
+    def test_metering_limits_grants_per_step(self, chain):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        ctrl = PerimeterController(
+            chain.adjacency, labels, upper=100.0, max_inflow_per_step=1
+        )
+        ctrl(0, np.zeros(6, dtype=int))  # open, metered
+        assert ctrl.allows(2, 3)  # first grant
+        assert not ctrl.allows(2, 3)  # metered out
+
+    def test_grants_reset_each_step(self, chain):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        ctrl = PerimeterController(
+            chain.adjacency, labels, upper=100.0, max_inflow_per_step=1
+        )
+        ctrl(0, np.zeros(6, dtype=int))
+        assert ctrl.allows(2, 3)
+        ctrl(1, np.zeros(6, dtype=int))
+        assert ctrl.allows(2, 3)
+
+    def test_internal_moves_never_metered(self, chain):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        ctrl = PerimeterController(
+            chain.adjacency, labels, upper=100.0, max_inflow_per_step=0
+        )
+        ctrl(0, np.zeros(6, dtype=int))
+        assert ctrl.allows(3, 4)
+        assert not ctrl.allows(2, 3)
+
+    def test_negative_rate_rejected(self, chain):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        with pytest.raises(PartitioningError):
+            PerimeterController(
+                chain.adjacency, labels, upper=5.0, max_inflow_per_step=-1
+            )

@@ -1,0 +1,135 @@
+"""Tests for the alpha-Cut objective and its matrix form."""
+
+import numpy as np
+import pytest
+
+from repro.core.alpha_cut import (
+    alpha_cut_quadratic_value,
+    alpha_cut_value,
+    alpha_vector,
+    association_value,
+    cut_value,
+)
+from repro.exceptions import PartitioningError
+from repro.graph.adjacency import Graph
+
+
+@pytest.fixture
+def clique_labels(two_cliques):
+    return two_cliques, np.array([0, 0, 0, 0, 1, 1, 1, 1])
+
+
+class TestCutAssociation:
+    def test_bridge_cut(self, clique_labels):
+        g, labels = clique_labels
+        assert cut_value(g.adjacency, labels, 0) == pytest.approx(1.0)
+        assert cut_value(g.adjacency, labels, 1) == pytest.approx(1.0)
+
+    def test_association_counts_ordered_pairs(self, clique_labels):
+        g, labels = clique_labels
+        # 6 internal links, each counted twice in c^T A c
+        assert association_value(g.adjacency, labels, 0) == pytest.approx(12.0)
+
+    def test_partition_out_of_range(self, clique_labels):
+        g, labels = clique_labels
+        with pytest.raises(PartitioningError):
+            cut_value(g.adjacency, labels, 5)
+
+
+class TestAlphaVector:
+    def test_sums_to_one(self, clique_labels):
+        g, labels = clique_labels
+        assert alpha_vector(g.adjacency, labels).sum() == pytest.approx(1.0)
+
+    def test_symmetric_partition_equal_alphas(self, clique_labels):
+        g, labels = clique_labels
+        alphas = alpha_vector(g.adjacency, labels)
+        assert alphas[0] == pytest.approx(alphas[1])
+
+    def test_empty_graph(self):
+        g = Graph(3)
+        np.testing.assert_array_equal(
+            alpha_vector(g.adjacency, [0, 0, 1]), [0.0, 0.0]
+        )
+
+
+class TestAlphaCutValue:
+    def test_good_cut_beats_bad_cut(self, two_cliques):
+        good = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        bad = np.array([0, 1, 0, 1, 0, 1, 0, 1])
+        adj = two_cliques.adjacency
+        assert alpha_cut_value(adj, good) < alpha_cut_value(adj, bad)
+
+    def test_matches_quadratic_form(self, two_cliques, rng):
+        """Equation 5 with the paper's alpha vector == Equation 6."""
+        adj = two_cliques.adjacency
+        for __ in range(10):
+            labels = rng.integers(0, 3, size=8)
+            __, labels = np.unique(labels, return_inverse=True)
+            assert alpha_cut_value(adj, labels) == pytest.approx(
+                alpha_cut_quadratic_value(adj, labels)
+            )
+
+    def test_scalar_alpha(self, clique_labels):
+        g, labels = clique_labels
+        # alpha = 1: only the cut term remains
+        pure_cut = alpha_cut_value(g.adjacency, labels, alpha=1.0)
+        expected = sum(
+            cut_value(g.adjacency, labels, i) / 4.0 for i in (0, 1)
+        )
+        assert pure_cut == pytest.approx(expected)
+
+    def test_alpha_zero_is_negative_association(self, clique_labels):
+        g, labels = clique_labels
+        value = alpha_cut_value(g.adjacency, labels, alpha=0.0)
+        expected = -sum(
+            association_value(g.adjacency, labels, i) / 4.0 for i in (0, 1)
+        )
+        assert value == pytest.approx(expected)
+
+    def test_explicit_alpha_vector(self, clique_labels):
+        g, labels = clique_labels
+        value = alpha_cut_value(g.adjacency, labels, alpha=[0.5, 0.5])
+        assert value == pytest.approx(
+            alpha_cut_value(g.adjacency, labels, alpha=0.5)
+        )
+
+    def test_relation_to_modularity(self, two_cliques, rng):
+        """Minimising alpha-Cut == maximising modularity: the values are
+        ordered oppositely across labellings."""
+        from repro.baselines.modularity import modularity_value
+
+        adj = two_cliques.adjacency
+        labellings = []
+        for __ in range(8):
+            lab = rng.integers(0, 2, size=8)
+            __, lab = np.unique(lab, return_inverse=True)
+            if lab.max() == 1:
+                labellings.append(lab)
+        scores = [
+            (alpha_cut_value(adj, lab), modularity_value(adj, lab))
+            for lab in labellings
+        ]
+        # alpha-Cut per partition divides by |P_i|, modularity by 2m; the
+        # orderings agree on equal-size partitions; check the clean case:
+        good = np.array([0] * 4 + [1] * 4)
+        bad = np.array([0, 1] * 4)
+        assert alpha_cut_value(adj, good) < alpha_cut_value(adj, bad)
+        assert modularity_value(adj, good) > modularity_value(adj, bad)
+
+    def test_empty_partition_rejected(self, two_cliques):
+        labels = np.zeros(8, dtype=int)
+        labels[0] = 2  # partition 1 empty
+        with pytest.raises(PartitioningError, match="empty"):
+            alpha_cut_value(two_cliques.adjacency, labels)
+
+    def test_invalid_alpha(self, clique_labels):
+        g, labels = clique_labels
+        with pytest.raises(PartitioningError):
+            alpha_cut_value(g.adjacency, labels, alpha=1.5)
+        with pytest.raises(PartitioningError):
+            alpha_cut_value(g.adjacency, labels, alpha=[0.5])
+
+    def test_labels_shape_checked(self, two_cliques):
+        with pytest.raises(PartitioningError):
+            alpha_cut_value(two_cliques.adjacency, [0, 1])

@@ -1,0 +1,80 @@
+"""Tests for the standalone boundary refinement."""
+
+import numpy as np
+import pytest
+
+from repro.core.boundary_refine import boundary_refine
+from repro.exceptions import PartitioningError
+from repro.graph.adjacency import Graph
+from repro.metrics.distances import intra_metric
+from repro.metrics.validation import check_connectivity
+
+
+@pytest.fixture
+def chain():
+    return Graph(6, edges=[(i, i + 1) for i in range(5)])
+
+
+class TestBoundaryRefine:
+    def test_misplaced_boundary_node_moved(self, chain):
+        feats = [0.0, 0.0, 1.0, 1.0, 1.0, 1.0]
+        labels = [0, 0, 0, 1, 1, 1]  # node 2 belongs with the right
+        refined = boundary_refine(chain.adjacency, feats, labels)
+        assert refined[2] == refined[3]
+
+    def test_perfect_partitioning_unchanged(self, chain):
+        feats = [0.0, 0.0, 0.0, 1.0, 1.0, 1.0]
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        refined = boundary_refine(chain.adjacency, feats, labels)
+        np.testing.assert_array_equal(refined, labels)
+
+    def test_never_disconnects(self, chain):
+        feats = [0.0, 1.0, 0.0, 1.0, 0.0, 1.0]
+        labels = [0, 0, 0, 1, 1, 1]
+        refined = boundary_refine(chain.adjacency, feats, labels)
+        assert check_connectivity(chain.adjacency, refined) == []
+
+    def test_never_empties_partition(self, chain):
+        feats = [0.5, 0.5, 0.5, 0.5, 0.5, 0.5]
+        labels = [0, 1, 1, 1, 1, 1]
+        refined = boundary_refine(chain.adjacency, feats, labels)
+        assert int(refined.max()) + 1 == 2
+
+    def test_improves_or_preserves_intra(self, small_grid_graph, rng):
+        from repro.pipeline.schemes import run_scheme
+
+        result = run_scheme("NG", small_grid_graph, 4, seed=0)
+        feats = small_grid_graph.features
+        refined = boundary_refine(
+            small_grid_graph.adjacency, feats, result.labels
+        )
+        assert intra_metric(feats, refined) <= intra_metric(
+            feats, result.labels
+        ) + 1e-9
+
+    def test_zero_sweeps_noop(self, chain):
+        feats = [0.0, 0.0, 1.0, 1.0, 1.0, 1.0]
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        refined = boundary_refine(chain.adjacency, feats, labels, max_sweeps=0)
+        np.testing.assert_array_equal(refined, labels)
+
+    def test_min_improvement_blocks_marginal_moves(self, chain):
+        feats = [0.0, 0.0, 0.52, 1.0, 1.0, 1.0]
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        # gap to right mean 0.48, to left mean ~0.35 -> marginal
+        refined = boundary_refine(
+            chain.adjacency, feats, labels, min_improvement=0.5
+        )
+        np.testing.assert_array_equal(refined, labels)
+
+    def test_invalid_inputs(self, chain):
+        with pytest.raises(PartitioningError):
+            boundary_refine(chain.adjacency, [0.0] * 5, [0] * 6)
+        with pytest.raises(PartitioningError):
+            boundary_refine(chain.adjacency, [0.0] * 6, [0] * 5)
+        with pytest.raises(PartitioningError):
+            boundary_refine(chain.adjacency, [0.0] * 6, [0] * 6, max_sweeps=-1)
+        with pytest.raises(PartitioningError):
+            boundary_refine(
+                chain.adjacency, [0.0] * 6, [0] * 6, min_improvement=-1.0
+            )

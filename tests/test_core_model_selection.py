@@ -1,0 +1,93 @@
+"""Tests for k-selection utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.model_selection import (
+    KSelection,
+    select_k_by_ans,
+    select_k_by_eigengap,
+)
+from repro.exceptions import PartitioningError
+from repro.graph.adjacency import Graph
+
+
+def _blocky_graph(n_blocks=3, per=8, seed=0):
+    """n_blocks dense blocks weakly chained together, with per-block
+    distinct densities — the planted k is n_blocks."""
+    rng = np.random.default_rng(seed)
+    n = n_blocks * per
+    edges = []
+    for b in range(n_blocks):
+        base = b * per
+        for i in range(per):
+            for j in range(i + 1, per):
+                if rng.random() < 0.8:
+                    edges.append((base + i, base + j, 1.0))
+    for b in range(n_blocks - 1):
+        edges.append(((b + 1) * per - 1, (b + 1) * per, 0.05))
+    feats = np.concatenate(
+        [np.full(per, 0.02 + 0.05 * b) for b in range(n_blocks)]
+    )
+    return Graph(n, edges=edges, features=feats)
+
+
+class TestSelectKByAns:
+    def test_scores_all_k(self):
+        g = _blocky_graph()
+        selection = select_k_by_ans(g, k_range=range(2, 6), seed=0)
+        assert set(selection.scores) == {2, 3, 4, 5}
+        assert selection.best_k in selection.scores
+
+    def test_best_k_minimises(self):
+        g = _blocky_graph()
+        selection = select_k_by_ans(g, k_range=range(2, 6), seed=0)
+        assert selection.scores[selection.best_k] == min(
+            selection.scores.values()
+        )
+
+    def test_candidates_are_local_minima(self):
+        g = _blocky_graph()
+        selection = select_k_by_ans(g, k_range=range(2, 8), seed=0)
+        ks = sorted(selection.scores)
+        for k in selection.candidates:
+            idx = ks.index(k)
+            assert 0 < idx < len(ks) - 1
+            assert selection.scores[k] <= selection.scores[ks[idx - 1]]
+            assert selection.scores[k] <= selection.scores[ks[idx + 1]]
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(PartitioningError):
+            select_k_by_ans(_blocky_graph(), k_range=[])
+
+    def test_bad_n_runs_rejected(self):
+        with pytest.raises(PartitioningError):
+            select_k_by_ans(_blocky_graph(), n_runs=0)
+
+
+class TestSelectKByEigengap:
+    def test_recovers_planted_blocks(self):
+        g = _blocky_graph(n_blocks=3, per=8)
+        selection = select_k_by_eigengap(g, k_max=8)
+        assert selection.best_k == 3
+
+    def test_two_cliques(self, two_cliques):
+        selection = select_k_by_eigengap(two_cliques, k_max=5)
+        assert selection.best_k == 2
+
+    def test_scores_cover_range(self):
+        g = _blocky_graph()
+        selection = select_k_by_eigengap(g, k_min=2, k_max=6)
+        assert set(selection.scores) == {2, 3, 4, 5, 6}
+
+    def test_without_affinity(self, two_cliques):
+        selection = select_k_by_eigengap(
+            two_cliques, k_max=5, use_affinity=False
+        )
+        assert selection.best_k == 2
+
+    def test_invalid_range(self, two_cliques):
+        with pytest.raises(PartitioningError):
+            select_k_by_eigengap(two_cliques, k_min=5, k_max=3)
+        with pytest.raises(PartitioningError):
+            select_k_by_eigengap(two_cliques, k_max=100)

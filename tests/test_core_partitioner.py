@@ -1,0 +1,83 @@
+"""Tests for the user-facing AlphaCutPartitioner."""
+
+import numpy as np
+import pytest
+
+from repro.core.partitioner import AlphaCutPartitioner, alpha_cut_partition
+from repro.exceptions import PartitioningError
+from repro.graph.adjacency import Graph
+from repro.graph.components import is_connected
+from repro.supergraph.builder import build_supergraph
+
+
+class TestAlphaCutPartitioner:
+    def test_separates_cliques(self, two_cliques):
+        result = AlphaCutPartitioner(2, seed=0).partition(two_cliques)
+        assert result.k == 2
+        labels = result.labels
+        assert len(set(labels[:4].tolist())) == 1
+        assert labels[0] != labels[4]
+
+    def test_exact_k_enforced(self, small_grid_graph):
+        for k in (2, 4, 6):
+            result = AlphaCutPartitioner(k, seed=0).partition(small_grid_graph)
+            assert result.k == k
+
+    def test_exact_k_false_keeps_k_prime(self):
+        g = Graph(4, edges=[(0, 1), (2, 3)])
+        result = AlphaCutPartitioner(2, exact_k=False, seed=0).partition(g)
+        assert result.k == result.k_prime
+
+    def test_k_prime_at_least_k(self, small_grid_graph):
+        result = AlphaCutPartitioner(5, seed=0).partition(small_grid_graph)
+        assert result.k_prime >= 5
+
+    def test_greedy_refinement(self, small_grid_graph):
+        result = AlphaCutPartitioner(
+            4, refinement="greedy", seed=0
+        ).partition(small_grid_graph)
+        assert result.k == 4
+
+    def test_accepts_raw_matrix(self, two_cliques):
+        result = AlphaCutPartitioner(2, seed=0).partition(two_cliques.adjacency)
+        assert result.k == 2
+
+    def test_supergraph_expansion(self, small_grid_graph):
+        sg = build_supergraph(small_grid_graph, seed=0)
+        k = min(4, sg.n_supernodes)
+        result = AlphaCutPartitioner(k, seed=0).partition(sg)
+        assert result.node_labels is not None
+        assert result.node_labels.shape == (small_grid_graph.n_nodes,)
+
+    def test_partitions_connected(self, small_grid_graph):
+        result = AlphaCutPartitioner(4, seed=3).partition(small_grid_graph)
+        for i in range(result.k):
+            members = np.flatnonzero(result.labels == i)
+            assert is_connected(small_grid_graph.adjacency, members)
+
+    def test_k_larger_than_n_rejected(self, two_cliques):
+        with pytest.raises(PartitioningError):
+            AlphaCutPartitioner(100).partition(two_cliques)
+
+    def test_invalid_params(self):
+        with pytest.raises(PartitioningError):
+            AlphaCutPartitioner(0)
+        with pytest.raises(PartitioningError):
+            AlphaCutPartitioner(2, refinement="magic")
+
+    def test_deterministic_given_seed(self, small_grid_graph):
+        a = AlphaCutPartitioner(4, seed=11).partition(small_grid_graph)
+        b = AlphaCutPartitioner(4, seed=11).partition(small_grid_graph)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+
+class TestAlphaCutPartitionHelper:
+    def test_returns_node_labels_for_supergraph(self, small_grid_graph):
+        sg = build_supergraph(small_grid_graph, seed=0)
+        k = min(3, sg.n_supernodes)
+        labels = alpha_cut_partition(sg, k, seed=0)
+        assert labels.shape == (small_grid_graph.n_nodes,)
+
+    def test_returns_graph_labels_for_graph(self, two_cliques):
+        labels = alpha_cut_partition(two_cliques, 2, seed=0)
+        assert labels.shape == (8,)

@@ -1,0 +1,85 @@
+"""Tests for the dataset builders and registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.large import melbourne_like
+from repro.datasets.registry import dataset_names, load_dataset
+from repro.datasets.small import small_network, small_network_series
+from repro.exceptions import DataError
+
+
+class TestSmallNetwork:
+    def test_size_near_d1(self):
+        network, densities = small_network(seed=0)
+        assert 400 <= network.n_segments <= 470  # D1 has 420
+        assert densities.shape == (network.n_segments,)
+
+    def test_congestion_present(self):
+        __, densities = small_network(seed=0)
+        assert densities.max() > 0.01
+        assert (densities > 0).mean() > 0.2
+
+    def test_reproducible(self):
+        __, a = small_network(seed=4)
+        __, b = small_network(seed=4)
+        np.testing.assert_allclose(a, b)
+
+    def test_snapshot_selection(self):
+        net, series = small_network_series(seed=0, n_steps=80)
+        assert series.shape == (80, net.n_segments)
+        __, snap = small_network(seed=0, n_steps=80, snapshot_t=40)
+        np.testing.assert_allclose(snap, series[40])
+
+    def test_invalid_snapshot(self):
+        with pytest.raises(ValueError):
+            small_network(snapshot_t=500)
+
+
+class TestMelbourneLike:
+    def test_scaled_down_size(self):
+        network, densities = melbourne_like("M1", size_factor=0.2, seed=0)
+        assert network.n_segments < 2000
+        assert densities.shape == (network.n_segments,)
+
+    def test_presets_scale_up(self):
+        m1, __ = melbourne_like("M1", size_factor=0.15, seed=0)
+        m2, __ = melbourne_like("M2", size_factor=0.15, seed=0)
+        assert m2.n_segments > m1.n_segments
+
+    def test_mntg_traffic_path(self):
+        network, densities = melbourne_like(
+            "M1", size_factor=0.1, traffic="mntg", seed=0
+        )
+        assert densities.sum() > 0
+
+    def test_unknown_preset(self):
+        with pytest.raises(DataError):
+            melbourne_like("M9")
+
+    def test_invalid_params(self):
+        with pytest.raises(DataError):
+            melbourne_like("M1", size_factor=0.0)
+        with pytest.raises(DataError):
+            melbourne_like("M1", traffic="teleport")
+        with pytest.raises(DataError):
+            melbourne_like("M1", size_factor=0.1, traffic="mntg", snapshot_t=500)
+
+
+class TestRegistry:
+    def test_names(self):
+        names = dataset_names()
+        assert {"D1", "M1", "M2", "M3", "M1-small"} <= set(names)
+
+    def test_load_small_variant(self):
+        network, densities = load_dataset("M2-small", seed=0)
+        assert network.n_segments > 1000
+        assert densities.shape == (network.n_segments,)
+
+    def test_unknown_name(self):
+        with pytest.raises(DataError, match="unknown dataset"):
+            load_dataset("D9")
+
+    def test_load_d1(self):
+        network, __ = load_dataset("D1")
+        assert network.n_segments > 400

@@ -1,0 +1,50 @@
+"""Tests for repro.graph.affinity."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.adjacency import Graph
+from repro.graph.affinity import congestion_affinity
+
+
+class TestCongestionAffinity:
+    def test_same_sparsity_pattern(self):
+        g = Graph(4, edges=[(0, 1), (1, 2), (2, 3)], features=[0, 1, 2, 3])
+        aff = congestion_affinity(g)
+        assert aff.nnz == g.adjacency.nnz
+
+    def test_similar_features_weight_near_one(self):
+        g = Graph(3, edges=[(0, 1), (1, 2)], features=[1.0, 1.0, 10.0])
+        aff = congestion_affinity(g)
+        assert aff[0, 1] == pytest.approx(1.0)
+        assert aff[1, 2] < aff[0, 1]
+
+    def test_weights_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        feats = rng.random(10)
+        edges = [(i, i + 1) for i in range(9)]
+        aff = congestion_affinity(Graph(10, edges=edges, features=feats))
+        assert aff.data.min() > 0.0
+        assert aff.data.max() <= 1.0
+
+    def test_symmetric(self):
+        g = Graph(3, edges=[(0, 1), (1, 2)], features=[0.0, 0.5, 1.0])
+        aff = congestion_affinity(g)
+        assert (abs(aff - aff.T) > 1e-15).nnz == 0
+
+    def test_zero_variance_gives_unit_weights(self):
+        g = Graph(3, edges=[(0, 1), (1, 2)], features=[2.0, 2.0, 2.0])
+        aff = congestion_affinity(g)
+        np.testing.assert_allclose(aff.data, 1.0)
+
+    def test_custom_sigma2(self):
+        g = Graph(2, edges=[(0, 1)], features=[0.0, 1.0])
+        wide = congestion_affinity(g, sigma2=100.0)
+        narrow = congestion_affinity(g, sigma2=0.01)
+        assert wide[0, 1] > narrow[0, 1]
+
+    def test_negative_sigma2_raises(self):
+        g = Graph(2, edges=[(0, 1)])
+        with pytest.raises(GraphError):
+            congestion_affinity(g, sigma2=-1.0)

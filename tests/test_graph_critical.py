@@ -1,0 +1,111 @@
+"""Tests for bridges, articulation points and critical segments."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.adjacency import Graph
+from repro.graph.critical import (
+    articulation_points,
+    bridges,
+    critical_segments,
+)
+
+
+class TestBridges:
+    def test_path_all_bridges(self):
+        g = Graph(4, edges=[(0, 1), (1, 2), (2, 3)])
+        assert bridges(g.adjacency) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_cycle_no_bridges(self):
+        g = Graph(4, edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert bridges(g.adjacency) == []
+
+    def test_two_cliques_bridge(self, two_cliques):
+        assert bridges(two_cliques.adjacency) == [(3, 4)]
+
+    def test_removal_disconnects(self, rng):
+        """Every reported bridge, when removed, must disconnect."""
+        from repro.graph.components import connected_components
+
+        n = 15
+        possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        chosen = rng.choice(len(possible), size=20, replace=False)
+        edges = [possible[i] for i in chosen]
+        g = Graph(n, edges=edges)
+        base_comps = int(connected_components(g.adjacency).max()) + 1
+        for u, v in bridges(g.adjacency):
+            reduced = [(a, b) for a, b in edges if (a, b) != (u, v)]
+            g2 = Graph(n, edges=reduced)
+            comps = int(connected_components(g2.adjacency).max()) + 1
+            assert comps == base_comps + 1
+
+    def test_disconnected_graph(self):
+        g = Graph(4, edges=[(0, 1), (2, 3)])
+        assert bridges(g.adjacency) == [(0, 1), (2, 3)]
+
+    def test_non_square_rejected(self):
+        with pytest.raises(GraphError):
+            bridges(np.zeros((2, 3)))
+
+
+class TestArticulationPoints:
+    def test_path_interior(self):
+        g = Graph(4, edges=[(0, 1), (1, 2), (2, 3)])
+        np.testing.assert_array_equal(
+            articulation_points(g.adjacency), [1, 2]
+        )
+
+    def test_cycle_none(self):
+        g = Graph(5, edges=[(i, (i + 1) % 5) for i in range(5)])
+        assert articulation_points(g.adjacency).size == 0
+
+    def test_two_cliques_bridge_ends(self, two_cliques):
+        np.testing.assert_array_equal(
+            articulation_points(two_cliques.adjacency), [3, 4]
+        )
+
+    def test_star_centre(self):
+        g = Graph(5, edges=[(0, i) for i in range(1, 5)])
+        np.testing.assert_array_equal(articulation_points(g.adjacency), [0])
+
+    def test_removal_splits(self, rng):
+        from repro.graph.components import connected_components
+
+        n = 12
+        possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        chosen = rng.choice(len(possible), size=16, replace=False)
+        edges = [possible[i] for i in chosen]
+        g = Graph(n, edges=edges)
+        base = int(connected_components(g.adjacency).max()) + 1
+        for v in articulation_points(g.adjacency):
+            keep = [u for u in range(n) if u != v]
+            sub, __ = g.subgraph(keep)
+            comps = int(connected_components(sub.adjacency).max()) + 1
+            assert comps > base - 1  # strictly more pieces among the rest
+
+
+class TestCriticalSegments:
+    def test_global_equals_articulation(self, two_cliques):
+        np.testing.assert_array_equal(
+            critical_segments(two_cliques.adjacency),
+            articulation_points(two_cliques.adjacency),
+        )
+
+    def test_per_partition(self):
+        # two paths joined in a cycle: nothing global, but each
+        # partition (half) has interior articulation nodes
+        g = Graph(6, edges=[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+        assert critical_segments(g.adjacency).size == 0
+        labels = [0, 0, 0, 1, 1, 1]
+        per_partition = critical_segments(g.adjacency, labels)
+        np.testing.assert_array_equal(per_partition, [1, 4])
+
+    def test_small_partitions_skipped(self):
+        g = Graph(4, edges=[(0, 1), (1, 2), (2, 3)])
+        labels = [0, 0, 1, 1]  # both partitions of size 2
+        assert critical_segments(g.adjacency, labels).size == 0
+
+    def test_label_shape_checked(self, two_cliques):
+        with pytest.raises(GraphError):
+            critical_segments(two_cliques.adjacency, [0, 1])

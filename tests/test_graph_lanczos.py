@@ -1,0 +1,132 @@
+"""Tests for the from-scratch Lanczos eigensolver."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.adjacency import Graph
+from repro.graph.laplacian import AlphaCutOperator, alpha_cut_matrix
+from repro.graph.lanczos import (
+    lanczos_smallest,
+    lanczos_tridiagonalize,
+)
+
+
+def _ring_with_chords(n=60, chord=7):
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    edges += [(i, (i + chord) % n) for i in range(n)]
+    return Graph(n, edges=edges)
+
+
+class TestTridiagonalize:
+    def test_basis_orthonormal(self, rng):
+        g = _ring_with_chords(40)
+        __, __, basis = lanczos_tridiagonalize(g.adjacency, 20, seed=0)
+        gram = basis.T @ basis
+        np.testing.assert_allclose(gram, np.eye(basis.shape[1]), atol=1e-10)
+
+    def test_projection_identity(self):
+        """Q^T A Q equals the tridiagonal matrix built from alpha/beta."""
+        g = _ring_with_chords(30)
+        alphas, betas, basis = lanczos_tridiagonalize(g.adjacency, 12, seed=0)
+        tri = np.diag(alphas) + np.diag(betas, 1) + np.diag(betas, -1)
+        projected = basis.T @ (g.adjacency @ basis)
+        np.testing.assert_allclose(projected, tri, atol=1e-8)
+
+    def test_full_dimension_recovers_spectrum(self):
+        """With random weights the spectrum is simple, so a full
+        Krylov space recovers every eigenvalue. (Symmetric graphs have
+        degenerate eigenvalues, of which Lanczos sees one copy each —
+        that's inherent to the method, not a bug.)"""
+        rng = np.random.default_rng(3)
+        n = 16
+        edges = [
+            (i, (i + 1) % n, float(rng.uniform(0.1, 1.0))) for i in range(n)
+        ]
+        edges += [
+            (i, (i + 7) % n, float(rng.uniform(0.1, 1.0))) for i in range(n)
+        ]
+        g = Graph(n, edges=edges)
+        alphas, betas, __ = lanczos_tridiagonalize(g.adjacency, n, seed=0)
+        tri = np.diag(alphas) + np.diag(betas, 1) + np.diag(betas, -1)
+        lanczos_eigs = np.sort(np.linalg.eigvalsh(tri))
+        true_eigs = np.sort(np.linalg.eigvalsh(g.adjacency.toarray()))
+        np.testing.assert_allclose(lanczos_eigs, true_eigs, atol=1e-7)
+
+    def test_invalid_m(self):
+        g = _ring_with_chords(10)
+        with pytest.raises(GraphError):
+            lanczos_tridiagonalize(g.adjacency, 0)
+        with pytest.raises(GraphError):
+            lanczos_tridiagonalize(g.adjacency, 99)
+
+    def test_invalid_operator(self):
+        with pytest.raises(GraphError):
+            lanczos_tridiagonalize("not-a-matrix", 3)
+        with pytest.raises(GraphError):
+            lanczos_tridiagonalize(np.zeros((2, 3)), 1)
+
+
+class TestLanczosSmallest:
+    def test_matches_dense_on_alpha_cut_matrix(self):
+        g = _ring_with_chords(50)
+        operator = AlphaCutOperator(g.adjacency)
+        values, vectors = lanczos_smallest(operator, 4, seed=0)
+        dense = np.linalg.eigvalsh(alpha_cut_matrix(g.adjacency))
+        np.testing.assert_allclose(values, dense[:4], atol=1e-6)
+
+    def test_vectors_satisfy_eigen_equation(self):
+        g = _ring_with_chords(40)
+        m = alpha_cut_matrix(g.adjacency)
+        values, vectors = lanczos_smallest(m, 3, seed=0)
+        for i in range(3):
+            np.testing.assert_allclose(
+                m @ vectors[:, i], values[i] * vectors[:, i], atol=1e-5
+            )
+
+    def test_unit_norm_vectors(self):
+        g = _ring_with_chords(30)
+        __, vectors = lanczos_smallest(g.adjacency, 3, seed=0)
+        np.testing.assert_allclose(np.linalg.norm(vectors, axis=0), 1.0)
+
+    def test_values_ascending(self):
+        g = _ring_with_chords(30)
+        values, __ = lanczos_smallest(g.adjacency, 5, seed=0)
+        assert (np.diff(values) >= -1e-10).all()
+
+    def test_deterministic_given_seed(self):
+        g = _ring_with_chords(30)
+        a, __ = lanczos_smallest(g.adjacency, 3, seed=7)
+        b, __ = lanczos_smallest(g.adjacency, 3, seed=7)
+        np.testing.assert_allclose(a, b)
+
+    def test_disconnected_graph_fallback(self):
+        """Invariant subspaces trigger the dense fallback path."""
+        g = Graph(8, edges=[(0, 1), (2, 3), (4, 5), (6, 7)])
+        values, __ = lanczos_smallest(g.adjacency, 6, m=8, seed=0)
+        dense = np.linalg.eigvalsh(g.adjacency.toarray())
+        np.testing.assert_allclose(np.sort(values), dense[:6], atol=1e-6)
+
+    def test_invalid_k(self):
+        g = _ring_with_chords(10)
+        with pytest.raises(GraphError):
+            lanczos_smallest(g.adjacency, 0)
+        with pytest.raises(GraphError):
+            lanczos_smallest(g.adjacency, 3, m=2)
+
+
+class TestSpectralIntegration:
+    def test_method_lanczos_in_spectral_stage(self):
+        from repro.core.spectral import smallest_eigenvectors
+
+        g = _ring_with_chords(45)
+        lan_vals, __ = smallest_eigenvectors(g.adjacency, 3, method="lanczos")
+        dense_vals, __ = smallest_eigenvectors(g.adjacency, 3, method="dense")
+        np.testing.assert_allclose(lan_vals, dense_vals, atol=1e-6)
+
+    def test_invalid_method_rejected(self, two_cliques):
+        from repro.core.spectral import smallest_eigenvectors
+        from repro.exceptions import PartitioningError
+
+        with pytest.raises(PartitioningError):
+            smallest_eigenvectors(two_cliques.adjacency, 2, method="magic")

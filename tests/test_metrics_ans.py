@@ -1,0 +1,77 @@
+"""Tests for the average NcutSilhouette."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PartitioningError
+from repro.graph.adjacency import Graph
+from repro.metrics.ans import ans, ncut_silhouette
+
+
+@pytest.fixture
+def chain():
+    return Graph(6, edges=[(i, i + 1) for i in range(5)])
+
+
+class TestAns:
+    def test_perfect_partitioning_zero(self, chain):
+        feats = [0.0, 0.0, 0.0, 1.0, 1.0, 1.0]
+        assert ans(feats, [0, 0, 0, 1, 1, 1], chain.adjacency) == pytest.approx(
+            0.0
+        )
+
+    def test_lower_for_better_partitioning(self, chain):
+        feats = [0.0, 0.1, 0.05, 1.0, 0.9, 1.05]
+        good = ans(feats, [0, 0, 0, 1, 1, 1], chain.adjacency)
+        bad = ans(feats, [0, 0, 1, 1, 2, 2], chain.adjacency)
+        assert good < bad
+
+    def test_nonnegative(self, chain, rng):
+        feats = rng.random(6)
+        assert ans(feats, [0, 0, 1, 1, 2, 2], chain.adjacency) >= 0.0
+
+    def test_single_partition_zero(self, chain):
+        feats = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        # no adjacent partitions to contrast against
+        assert ans(feats, [0] * 6, chain.adjacency) == 0.0
+
+    def test_matches_naive_computation(self, chain, rng):
+        """Cross-check the moment-based formula against the O(n^2)
+        definition."""
+        feats = rng.random(6)
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        fast = ans(feats, labels, chain.adjacency)
+
+        def naive_ns(i):
+            members = np.flatnonzero(labels == i)
+            others = np.flatnonzero(labels != i)  # all partitions adjacent here
+            ratios = []
+            for v in members:
+                a = np.mean([(feats[v] - feats[u]) ** 2 for u in members if u != v])
+                b = np.mean([(feats[v] - feats[u]) ** 2 for u in others])
+                ratios.append(a / b if b > 0 else 0.0)
+            return np.mean(ratios)
+
+        naive = np.mean([naive_ns(0), naive_ns(1)])
+        assert fast == pytest.approx(naive)
+
+    def test_per_partition_silhouette(self, chain):
+        feats = [0.0, 0.0, 0.0, 1.0, 1.0, 1.0]
+        labels = [0, 0, 0, 1, 1, 1]
+        assert ncut_silhouette(feats, labels, chain.adjacency, 0) == pytest.approx(
+            0.0
+        )
+
+    def test_partition_index_checked(self, chain):
+        with pytest.raises(PartitioningError):
+            ncut_silhouette([0.0] * 6, [0] * 6, chain.adjacency, 5)
+
+    def test_empty_partition_rejected(self, chain):
+        with pytest.raises(PartitioningError):
+            ans([0.0] * 6, [0, 0, 0, 2, 2, 2], chain.adjacency)
+
+    def test_singleton_partition_handled(self, chain):
+        feats = [0.0, 0.0, 0.5, 1.0, 1.0, 1.0]
+        labels = [0, 0, 1, 2, 2, 2]
+        value = ans(feats, labels, chain.adjacency)
+        assert np.isfinite(value) and value >= 0.0

@@ -1,0 +1,52 @@
+"""Tests for conductance and expansion."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PartitioningError
+from repro.graph.adjacency import Graph
+from repro.metrics.conductance import conductance, expansion, max_conductance
+
+
+class TestConductance:
+    def test_bridge_cut(self, two_cliques):
+        labels = np.array([0] * 4 + [1] * 4)
+        values = conductance(two_cliques.adjacency, labels)
+        # each side: cut 1, volume 13 -> 1/13
+        assert values == [pytest.approx(1 / 13)] * 2
+
+    def test_whole_graph_zero(self, two_cliques):
+        assert conductance(two_cliques.adjacency, np.zeros(8, int)) == [0.0]
+
+    def test_good_cut_lower_than_bad(self, two_cliques):
+        good = max_conductance(
+            two_cliques.adjacency, np.array([0] * 4 + [1] * 4)
+        )
+        bad = max_conductance(two_cliques.adjacency, np.array([0, 1] * 4))
+        assert good < bad
+
+    def test_values_in_unit_interval(self, two_cliques, rng):
+        for __ in range(5):
+            labels = rng.integers(0, 3, size=8)
+            __, labels = np.unique(labels, return_inverse=True)
+            values = conductance(two_cliques.adjacency, labels)
+            assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_shape_checked(self, two_cliques):
+        with pytest.raises(PartitioningError):
+            conductance(two_cliques.adjacency, [0, 1])
+
+
+class TestExpansion:
+    def test_bridge(self, two_cliques):
+        labels = np.array([0] * 4 + [1] * 4)
+        values = expansion(two_cliques.adjacency, labels)
+        assert values == [pytest.approx(0.25)] * 2  # cut 1 / 4 nodes
+
+    def test_whole_graph_zero(self, two_cliques):
+        assert expansion(two_cliques.adjacency, np.zeros(8, int)) == [0.0]
+
+    def test_weighted_edges_counted(self):
+        g = Graph(4, edges=[(0, 1, 2.0), (1, 2, 5.0), (2, 3, 2.0)])
+        values = expansion(g.adjacency, np.array([0, 0, 1, 1]))
+        assert values == [pytest.approx(2.5)] * 2

@@ -1,0 +1,108 @@
+"""Tests for the inter/intra metrics and the pairwise-distance helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PartitioningError
+from repro.graph.adjacency import Graph
+from repro.metrics.distances import (
+    adjacent_partition_pairs,
+    inter_metric,
+    intra_metric,
+    mean_abs_cross,
+    mean_abs_pairwise,
+)
+
+
+class TestMeanAbsPairwise:
+    def test_matches_naive(self, rng):
+        values = rng.random(30)
+        naive = np.abs(values[:, None] - values[None, :]).sum() / (30 * 29)
+        assert mean_abs_pairwise(values) == pytest.approx(naive)
+
+    def test_two_values(self):
+        assert mean_abs_pairwise([1.0, 4.0]) == pytest.approx(3.0)
+
+    def test_degenerate(self):
+        assert mean_abs_pairwise([5.0]) == 0.0
+        assert mean_abs_pairwise([]) == 0.0
+
+    def test_constant(self):
+        assert mean_abs_pairwise([2.0] * 10) == pytest.approx(0.0)
+
+
+class TestMeanAbsCross:
+    def test_matches_naive(self, rng):
+        x, y = rng.random(17), rng.random(23)
+        naive = np.abs(x[:, None] - y[None, :]).mean()
+        assert mean_abs_cross(x, y) == pytest.approx(naive)
+
+    def test_symmetric(self, rng):
+        x, y = rng.random(10), rng.random(12)
+        assert mean_abs_cross(x, y) == pytest.approx(mean_abs_cross(y, x))
+
+    def test_singletons(self):
+        assert mean_abs_cross([1.0], [4.0]) == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PartitioningError):
+            mean_abs_cross([], [1.0])
+
+
+class TestAdjacentPartitionPairs:
+    def test_chain(self):
+        g = Graph(6, edges=[(i, i + 1) for i in range(5)])
+        labels = [0, 0, 1, 1, 2, 2]
+        assert adjacent_partition_pairs(g.adjacency, labels) == [(0, 1), (1, 2)]
+
+    def test_no_cross_edges(self):
+        g = Graph(4, edges=[(0, 1), (2, 3)])
+        assert adjacent_partition_pairs(g.adjacency, [0, 0, 1, 1]) == []
+
+
+class TestInterMetric:
+    def test_separated_densities(self):
+        g = Graph(4, edges=[(0, 1), (1, 2), (2, 3)])
+        feats = [0.0, 0.0, 1.0, 1.0]
+        assert inter_metric(feats, [0, 0, 1, 1], g.adjacency) == pytest.approx(1.0)
+
+    def test_higher_for_more_distinct_partitions(self):
+        g = Graph(4, edges=[(0, 1), (1, 2), (2, 3)])
+        weak = inter_metric([0.0, 0.0, 0.1, 0.1], [0, 0, 1, 1], g.adjacency)
+        strong = inter_metric([0.0, 0.0, 5.0, 5.0], [0, 0, 1, 1], g.adjacency)
+        assert strong > weak
+
+    def test_single_partition_zero(self):
+        g = Graph(3, edges=[(0, 1), (1, 2)])
+        assert inter_metric([1.0, 2.0, 3.0], [0, 0, 0], g.adjacency) == 0.0
+
+    def test_only_adjacent_pairs_counted(self):
+        # three partitions in a chain; 0 and 2 not adjacent
+        g = Graph(6, edges=[(i, i + 1) for i in range(5)])
+        feats = [0.0, 0.0, 1.0, 1.0, 2.0, 2.0]
+        value = inter_metric(feats, [0, 0, 1, 1, 2, 2], g.adjacency)
+        assert value == pytest.approx(1.0)  # both adjacent gaps are 1.0
+
+
+class TestIntraMetric:
+    def test_homogeneous_partitions_zero(self):
+        feats = [1.0, 1.0, 5.0, 5.0]
+        assert intra_metric(feats, [0, 0, 1, 1]) == pytest.approx(0.0)
+
+    def test_mixed_partition_positive(self):
+        feats = [0.0, 1.0, 0.0, 1.0]
+        assert intra_metric(feats, [0, 0, 1, 1]) == pytest.approx(1.0)
+
+    def test_better_grouping_lower(self):
+        feats = [0.0, 0.0, 1.0, 1.0]
+        good = intra_metric(feats, [0, 0, 1, 1])
+        bad = intra_metric(feats, [0, 1, 0, 1])
+        assert good < bad
+
+    def test_empty_partition_rejected(self):
+        with pytest.raises(PartitioningError):
+            intra_metric([1.0, 2.0], [0, 2])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(PartitioningError):
+            intra_metric([1.0, 2.0], [0])

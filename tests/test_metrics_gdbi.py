@@ -1,0 +1,68 @@
+"""Tests for the graph Davies-Bouldin index."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PartitioningError
+from repro.graph.adjacency import Graph
+from repro.metrics.gdbi import gdbi
+
+
+@pytest.fixture
+def chain():
+    return Graph(6, edges=[(i, i + 1) for i in range(5)])
+
+
+class TestGdbi:
+    def test_perfect_partitioning_zero(self, chain):
+        feats = [0.0, 0.0, 0.0, 1.0, 1.0, 1.0]
+        assert gdbi(feats, [0, 0, 0, 1, 1, 1], chain.adjacency) == pytest.approx(
+            0.0
+        )
+
+    def test_lower_for_better_partitioning(self, chain):
+        feats = [0.0, 0.1, 0.0, 1.0, 0.9, 1.0]
+        good = gdbi(feats, [0, 0, 0, 1, 1, 1], chain.adjacency)
+        bad = gdbi(feats, [0, 0, 1, 1, 2, 2], chain.adjacency)
+        assert good < bad
+
+    def test_nonnegative(self, chain, rng):
+        feats = rng.random(6)
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert gdbi(feats, labels, chain.adjacency) >= 0.0
+
+    def test_mean_agg_leq_max_agg(self, chain, rng):
+        feats = rng.random(6)
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert gdbi(feats, labels, chain.adjacency, agg="mean") <= gdbi(
+            feats, labels, chain.adjacency, agg="max"
+        )
+
+    def test_only_neighbours_compared(self):
+        """A far-away partition with a confusable mean must not affect
+        the index when it is not spatially adjacent."""
+        g = Graph(6, edges=[(0, 1), (1, 2), (3, 4), (4, 5), (2, 3)])
+        feats = [0.0, 0.2, 0.1, 1.0, 1.2, 1.1]
+        labels = [0, 0, 0, 1, 1, 1]
+        baseline = gdbi(feats, labels, g.adjacency)
+        assert baseline > 0.0
+        # add an isolated pair with the same mean as partition 0
+        g2 = Graph(8, edges=[(0, 1), (1, 2), (3, 4), (4, 5), (2, 3), (6, 7)])
+        feats2 = feats + [0.0, 0.2]
+        labels2 = labels + [2, 2]
+        assert gdbi(feats2, labels2, g2.adjacency) == pytest.approx(
+            baseline * 2 / 3  # same sum of ratios over one more partition
+        )
+
+    def test_coincident_means_with_spread_penalised(self, chain):
+        feats = [0.0, 1.0, 0.5, 0.0, 1.0, 0.5]
+        labels = [0, 0, 0, 1, 1, 1]
+        assert gdbi(feats, labels, chain.adjacency) > 100.0
+
+    def test_invalid_agg(self, chain):
+        with pytest.raises(PartitioningError):
+            gdbi([0.0] * 6, [0, 0, 0, 1, 1, 1], chain.adjacency, agg="sum")
+
+    def test_empty_partition_rejected(self, chain):
+        with pytest.raises(PartitioningError):
+            gdbi([0.0] * 6, [0, 0, 0, 2, 2, 2], chain.adjacency)

@@ -1,0 +1,59 @@
+"""Tests for cost of partitioning and partition volume."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PartitioningError
+from repro.graph.adjacency import Graph
+from repro.graph.affinity import congestion_affinity
+from repro.metrics.partition_quality import cost_of_partitioning, partition_volume
+
+
+@pytest.fixture
+def weighted_chain():
+    return Graph(
+        4, edges=[(0, 1, 0.9), (1, 2, 0.2), (2, 3, 0.8)], features=[0, 0, 1, 1]
+    )
+
+
+class TestCostVolume:
+    def test_cost_is_cross_weight(self, weighted_chain):
+        assert cost_of_partitioning(
+            weighted_chain.adjacency, [0, 0, 1, 1]
+        ) == pytest.approx(0.2)
+
+    def test_volume_is_within_weight(self, weighted_chain):
+        assert partition_volume(
+            weighted_chain.adjacency, [0, 0, 1, 1]
+        ) == pytest.approx(1.7)
+
+    def test_cost_plus_volume_is_total(self, weighted_chain, rng):
+        adj = weighted_chain.adjacency
+        total = adj.sum() / 2.0
+        for __ in range(5):
+            labels = rng.integers(0, 2, size=4)
+            assert cost_of_partitioning(adj, labels) + partition_volume(
+                adj, labels
+            ) == pytest.approx(total)
+
+    def test_single_partition_no_cost(self, weighted_chain):
+        assert cost_of_partitioning(weighted_chain.adjacency, [0] * 4) == 0.0
+
+    def test_all_singletons_no_volume(self, weighted_chain):
+        assert partition_volume(weighted_chain.adjacency, [0, 1, 2, 3]) == 0.0
+
+    def test_good_cut_minimises_cost(self, weighted_chain):
+        adj = weighted_chain.adjacency
+        assert cost_of_partitioning(adj, [0, 0, 1, 1]) < cost_of_partitioning(
+            adj, [0, 1, 1, 0]
+        )
+
+    def test_with_congestion_affinity(self, weighted_chain):
+        aff = congestion_affinity(weighted_chain)
+        cost = cost_of_partitioning(aff, [0, 0, 1, 1])
+        vol = partition_volume(aff, [0, 0, 1, 1])
+        assert cost >= 0 and vol >= 0
+
+    def test_shape_checked(self, weighted_chain):
+        with pytest.raises(PartitioningError):
+            cost_of_partitioning(weighted_chain.adjacency, [0, 1])

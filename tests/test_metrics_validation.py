@@ -1,0 +1,64 @@
+"""Tests for C.1/C.2 validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PartitioningError
+from repro.graph.adjacency import Graph
+from repro.metrics.validation import (
+    check_connectivity,
+    check_cover,
+    validate_partitioning,
+)
+
+
+@pytest.fixture
+def chain():
+    return Graph(6, edges=[(i, i + 1) for i in range(5)])
+
+
+class TestCheckCover:
+    def test_valid(self):
+        assert check_cover([0, 1, 1, 0], 4) == 2
+
+    def test_gap_rejected(self):
+        with pytest.raises(PartitioningError, match="gaps"):
+            check_cover([0, 2, 2, 0], 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(PartitioningError):
+            check_cover([0, -1], 2)
+
+    def test_shape_rejected(self):
+        with pytest.raises(PartitioningError):
+            check_cover([0, 1], 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PartitioningError):
+            check_cover([], 0)
+
+
+class TestCheckConnectivity:
+    def test_connected_partitions_pass(self, chain):
+        assert check_connectivity(chain.adjacency, [0, 0, 0, 1, 1, 1]) == []
+
+    def test_disconnected_partition_reported(self, chain):
+        # partition 0 = {0, 5}: not adjacent
+        violations = check_connectivity(chain.adjacency, [0, 1, 1, 1, 1, 0])
+        assert violations == [0]
+
+    def test_singletons_connected(self, chain):
+        assert check_connectivity(chain.adjacency, [0, 1, 2, 3, 4, 5]) == []
+
+
+class TestValidatePartitioning:
+    def test_valid_result(self, chain):
+        validation = validate_partitioning(chain.adjacency, [0, 0, 1, 1, 2, 2])
+        assert validation.is_valid
+        assert validation.k == 3
+        assert validation.sizes == [2, 2, 2]
+
+    def test_invalid_result(self, chain):
+        validation = validate_partitioning(chain.adjacency, [0, 1, 0, 1, 0, 1])
+        assert not validation.is_valid
+        assert set(validation.disconnected) == {0, 1}

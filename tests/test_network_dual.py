@@ -1,0 +1,79 @@
+"""Tests for the dual transform (Definition 2)."""
+
+import numpy as np
+import pytest
+
+from repro.network.dual import build_road_graph, segment_adjacency
+from repro.network.generators import grid_network
+from repro.network.geometry import Point
+from repro.network.model import Intersection, RoadNetwork, RoadSegment
+
+
+def _star_network():
+    """Four segments radiating out of a central intersection 0."""
+    intersections = [Intersection(i, Point(i * 10.0, 0.0)) for i in range(5)]
+    segments = [RoadSegment(i, 0, i + 1, length=10.0) for i in range(4)]
+    return RoadNetwork(intersections, segments)
+
+
+def _chain_network(n=4):
+    """A linear chain of n segments."""
+    intersections = [Intersection(i, Point(i * 10.0, 0.0)) for i in range(n + 1)]
+    segments = [RoadSegment(i, i, i + 1, length=10.0) for i in range(n)]
+    return RoadNetwork(intersections, segments)
+
+
+class TestSegmentAdjacency:
+    def test_star_forms_clique(self):
+        """Star topology in the network forms a clique in the dual."""
+        pairs = segment_adjacency(_star_network())
+        assert len(pairs) == 6  # C(4, 2)
+
+    def test_chain_stays_linear(self):
+        pairs = segment_adjacency(_chain_network(4))
+        assert pairs == [(0, 1), (1, 2), (2, 3)]
+
+    def test_two_way_street_directions_adjacent(self):
+        intersections = [Intersection(0, Point(0, 0)), Intersection(1, Point(10, 0))]
+        segments = [
+            RoadSegment(0, 0, 1, length=10.0),
+            RoadSegment(1, 1, 0, length=10.0),
+        ]
+        pairs = segment_adjacency(RoadNetwork(intersections, segments))
+        assert pairs == [(0, 1)]
+
+    def test_pairs_unique_even_with_shared_both_endpoints(self):
+        # two-way pair shares both intersections but appears once
+        intersections = [Intersection(0, Point(0, 0)), Intersection(1, Point(10, 0))]
+        segments = [
+            RoadSegment(0, 0, 1, length=10.0),
+            RoadSegment(1, 1, 0, length=10.0),
+        ]
+        pairs = segment_adjacency(RoadNetwork(intersections, segments))
+        assert len(pairs) == len(set(pairs))
+
+
+class TestBuildRoadGraph:
+    def test_node_count_equals_segments(self):
+        net = grid_network(3, 3, two_way=True)
+        graph = build_road_graph(net)
+        assert graph.n_nodes == net.n_segments
+
+    def test_features_are_densities(self):
+        net = _chain_network(3)
+        net.set_densities([0.1, 0.2, 0.3])
+        graph = build_road_graph(net)
+        np.testing.assert_allclose(graph.features, [0.1, 0.2, 0.3])
+
+    def test_dual_of_connected_network_is_connected(self):
+        from repro.graph.components import is_connected
+
+        net = grid_network(4, 4, two_way=True)
+        graph = build_road_graph(net)
+        assert is_connected(graph.adjacency)
+
+    def test_edges_are_binary(self):
+        net = grid_network(3, 3, two_way=True)
+        graph = build_road_graph(net)
+        weights = {w for __, __, w in graph.edges()}
+        assert weights == {1.0}

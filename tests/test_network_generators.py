@@ -1,0 +1,111 @@
+"""Tests for the synthetic network generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.graph.components import is_connected
+from repro.network.dual import build_road_graph
+from repro.network.generators import (
+    grid_network,
+    ring_radial_network,
+    urban_network,
+)
+
+
+class TestGridNetwork:
+    def test_sizes(self):
+        net = grid_network(3, 4, two_way=True)
+        assert net.n_intersections == 12
+        # undirected streets: 3*3 + 4*2 = 17 -> 34 directed
+        assert net.n_segments == 34
+
+    def test_one_way_halves_segments(self):
+        two = grid_network(3, 4, two_way=True)
+        one = grid_network(3, 4, two_way=False)
+        assert one.n_segments == two.n_segments // 2
+
+    def test_dual_connected(self):
+        graph = build_road_graph(grid_network(4, 4, two_way=True))
+        assert is_connected(graph.adjacency)
+
+    def test_spacing_sets_lengths(self):
+        net = grid_network(2, 2, spacing=123.0)
+        assert all(seg.length == 123.0 for seg in net.segments)
+
+    def test_too_small_raises(self):
+        with pytest.raises(NetworkError):
+            grid_network(1, 5)
+
+    def test_bad_spacing_raises(self):
+        with pytest.raises(NetworkError):
+            grid_network(3, 3, spacing=-1.0)
+
+
+class TestRingRadialNetwork:
+    def test_sizes(self):
+        net = ring_radial_network(2, 6)
+        assert net.n_intersections == 1 + 2 * 6
+
+    def test_dual_connected(self):
+        graph = build_road_graph(ring_radial_network(3, 8))
+        assert is_connected(graph.adjacency)
+
+    def test_min_radials_enforced(self):
+        with pytest.raises(NetworkError):
+            ring_radial_network(2, 2)
+
+    def test_hub_degree(self):
+        net = ring_radial_network(1, 5)
+        # 5 spokes, each two-way: 5 outgoing from hub
+        assert len(net.outgoing(0)) == 5
+
+
+class TestUrbanNetwork:
+    def test_reproducible(self):
+        a = urban_network(8, 8, seed=42)
+        b = urban_network(8, 8, seed=42)
+        assert a.n_segments == b.n_segments
+        np.testing.assert_allclose(a.densities(), b.densities())
+        assert a.segment(0).source == b.segment(0).source
+
+    def test_different_seeds_differ(self):
+        a = urban_network(10, 10, seed=1)
+        b = urban_network(10, 10, seed=2)
+        # jitter should move intersections
+        assert (
+            a.intersection(5).location.x != b.intersection(5).location.x
+        )
+
+    def test_street_graph_connected(self):
+        net = urban_network(10, 10, removal_fraction=0.2, seed=0)
+        graph = build_road_graph(net)
+        assert is_connected(graph.adjacency)
+
+    def test_removal_reduces_segments(self):
+        none = urban_network(10, 10, removal_fraction=0.0, seed=0)
+        some = urban_network(10, 10, removal_fraction=0.2, seed=0)
+        assert some.n_segments < none.n_segments
+
+    def test_cbd_streets_two_way(self):
+        net = urban_network(9, 9, cbd_fraction=1.0, seed=0)
+        # CBD covers everything -> every street is two-way: even count
+        # and every segment has a reverse partner
+        pairs = {(s.source, s.target) for s in net.segments}
+        assert all((t, s) in pairs for (s, t) in pairs)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(NetworkError):
+            urban_network(1, 5)
+        with pytest.raises(NetworkError):
+            urban_network(5, 5, cbd_fraction=1.5)
+        with pytest.raises(NetworkError):
+            urban_network(5, 5, jitter=0.9)
+        with pytest.raises(NetworkError):
+            urban_network(5, 5, removal_fraction=1.0)
+
+    def test_scales_roughly_linearly(self):
+        small = urban_network(10, 10, seed=0)
+        large = urban_network(20, 20, seed=0)
+        ratio = large.n_segments / small.n_segments
+        assert 3.0 < ratio < 5.5

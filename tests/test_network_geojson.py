@@ -1,0 +1,69 @@
+"""Tests for GeoJSON export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.network.generators import grid_network
+from repro.network.geojson import network_to_geojson, save_geojson
+
+
+@pytest.fixture(scope="module")
+def network():
+    net = grid_network(3, 3, spacing=100.0, two_way=True)
+    net.set_densities(np.linspace(0.0, 0.1, net.n_segments))
+    return net
+
+
+class TestNetworkToGeojson:
+    def test_feature_collection_shape(self, network):
+        doc = network_to_geojson(network)
+        assert doc["type"] == "FeatureCollection"
+        assert len(doc["features"]) == network.n_segments
+
+    def test_linestring_geometry(self, network):
+        doc = network_to_geojson(network)
+        geometry = doc["features"][0]["geometry"]
+        assert geometry["type"] == "LineString"
+        assert len(geometry["coordinates"]) == 2
+
+    def test_density_property(self, network):
+        doc = network_to_geojson(network)
+        densities = [f["properties"]["density"] for f in doc["features"]]
+        np.testing.assert_allclose(densities, network.densities())
+
+    def test_partition_property(self, network):
+        labels = np.arange(network.n_segments) % 3
+        doc = network_to_geojson(network, labels=labels)
+        parts = [f["properties"]["partition"] for f in doc["features"]]
+        np.testing.assert_array_equal(parts, labels)
+
+    def test_no_partition_property_when_absent(self, network):
+        doc = network_to_geojson(network)
+        assert "partition" not in doc["features"][0]["properties"]
+
+    def test_origin_produces_degrees(self, network):
+        doc = network_to_geojson(network, origin=(-37.81, 144.96))  # Melbourne
+        lon, lat = doc["features"][0]["geometry"]["coordinates"][0]
+        assert -38.0 < lat < -37.5
+        assert 144.5 < lon < 145.5
+
+    def test_json_serialisable(self, network):
+        doc = network_to_geojson(network, labels=np.zeros(network.n_segments, int))
+        json.dumps(doc)  # must not raise
+
+    def test_shape_validation(self, network):
+        with pytest.raises(DataError):
+            network_to_geojson(network, labels=[0, 1])
+        with pytest.raises(DataError):
+            network_to_geojson(network, densities=[0.1])
+
+
+class TestSaveGeojson:
+    def test_round_trip(self, network, tmp_path):
+        doc = network_to_geojson(network)
+        path = save_geojson(doc, tmp_path / "net.geojson")
+        restored = json.loads(path.read_text(encoding="utf-8"))
+        assert restored == doc

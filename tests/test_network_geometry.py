@@ -1,0 +1,69 @@
+"""Tests for repro.network.geometry."""
+
+import math
+
+import pytest
+
+from repro.network.geometry import (
+    Point,
+    bounding_box,
+    euclidean,
+    interpolate,
+    polyline_length,
+)
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_symmetric(self):
+        a, b = Point(1, 2), Point(4, 6)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(2, 4)) == Point(1, 2)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 1.0
+
+    def test_euclidean_helper(self):
+        assert euclidean(Point(0, 0), Point(0, 7)) == 7.0
+
+
+class TestPolylineLength:
+    def test_two_points(self):
+        assert polyline_length([Point(0, 0), Point(3, 4)]) == 5.0
+
+    def test_multi_segment(self):
+        pts = [Point(0, 0), Point(1, 0), Point(1, 1)]
+        assert polyline_length(pts) == 2.0
+
+    def test_degenerate(self):
+        assert polyline_length([Point(0, 0)]) == 0.0
+        assert polyline_length([]) == 0.0
+
+
+class TestInterpolate:
+    def test_endpoints(self):
+        a, b = Point(0, 0), Point(10, 0)
+        assert interpolate(a, b, 0.0) == a
+        assert interpolate(a, b, 1.0) == b
+
+    def test_midway(self):
+        assert interpolate(Point(0, 0), Point(10, 20), 0.5) == Point(5, 10)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            interpolate(Point(0, 0), Point(1, 1), 1.5)
+
+
+class TestBoundingBox:
+    def test_box(self):
+        pts = [Point(1, 5), Point(-2, 3), Point(4, 0)]
+        assert bounding_box(pts) == (-2, 0, 4, 5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])

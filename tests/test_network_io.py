@@ -1,0 +1,82 @@
+"""Tests for network (de)serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.network.generators import grid_network
+from repro.network.io import (
+    load_density_series,
+    load_network_csv,
+    load_network_json,
+    network_from_dict,
+    network_to_dict,
+    save_density_series,
+    save_network_csv,
+    save_network_json,
+)
+
+
+@pytest.fixture
+def network():
+    net = grid_network(3, 3, two_way=True)
+    rng = np.random.default_rng(0)
+    net.set_densities(rng.random(net.n_segments) * 0.1)
+    return net
+
+
+class TestJsonRoundTrip:
+    def test_dict_round_trip(self, network):
+        data = network_to_dict(network)
+        restored = network_from_dict(data)
+        assert restored.n_segments == network.n_segments
+        np.testing.assert_allclose(restored.densities(), network.densities())
+
+    def test_file_round_trip(self, network, tmp_path):
+        path = tmp_path / "net.json"
+        save_network_json(network, path)
+        restored = load_network_json(path)
+        assert restored.n_intersections == network.n_intersections
+        assert restored.segment(3).length == network.segment(3).length
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(DataError, match="not a repro"):
+            network_from_dict({"format": "something-else"})
+
+    def test_preserves_metadata(self, network):
+        restored = network_from_dict(network_to_dict(network))
+        seg = network.segment(0)
+        rseg = restored.segment(0)
+        assert (rseg.lanes, rseg.speed_limit) == (seg.lanes, seg.speed_limit)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, network, tmp_path):
+        stem = tmp_path / "net"
+        save_network_csv(network, stem)
+        restored = load_network_csv(stem)
+        assert restored.n_segments == network.n_segments
+        np.testing.assert_allclose(restored.densities(), network.densities())
+
+    def test_missing_pair_raises(self, tmp_path):
+        with pytest.raises(DataError, match="missing"):
+            load_network_csv(tmp_path / "absent")
+
+
+class TestDensitySeries:
+    def test_round_trip(self, tmp_path):
+        series = np.random.default_rng(0).random((5, 8))
+        path = tmp_path / "series.csv"
+        save_density_series(series, path)
+        restored = load_density_series(path)
+        np.testing.assert_allclose(restored, series)
+
+    def test_single_row_keeps_2d(self, tmp_path):
+        series = np.ones((1, 4))
+        path = tmp_path / "one.csv"
+        save_density_series(series, path)
+        assert load_density_series(path).shape == (1, 4)
+
+    def test_non_2d_rejected(self, tmp_path):
+        with pytest.raises(DataError):
+            save_density_series(np.ones(3), tmp_path / "bad.csv")

@@ -1,0 +1,126 @@
+"""Tests for repro.network.model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.network.geometry import Point
+from repro.network.model import Intersection, RoadNetwork, RoadSegment
+
+
+def _tiny_network():
+    intersections = [
+        Intersection(0, Point(0, 0)),
+        Intersection(1, Point(100, 0)),
+        Intersection(2, Point(100, 100)),
+    ]
+    segments = [
+        RoadSegment(0, 0, 1, length=100.0, density=0.01),
+        RoadSegment(1, 1, 0, length=100.0, density=0.02),
+        RoadSegment(2, 1, 2, length=100.0, density=0.03),
+    ]
+    return RoadNetwork(intersections, segments)
+
+
+class TestRoadSegment:
+    def test_valid(self):
+        seg = RoadSegment(0, 0, 1, length=50.0)
+        assert seg.capacity == pytest.approx(50.0 * 0.15)
+
+    def test_capacity_scales_with_lanes(self):
+        one = RoadSegment(0, 0, 1, length=100.0, lanes=1)
+        two = RoadSegment(0, 0, 1, length=100.0, lanes=2)
+        assert two.capacity == 2 * one.capacity
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(NetworkError, match="self-loop"):
+            RoadSegment(0, 1, 1, length=10.0)
+
+    def test_nonpositive_length_rejected(self):
+        with pytest.raises(NetworkError):
+            RoadSegment(0, 0, 1, length=0.0)
+
+    def test_negative_density_rejected(self):
+        with pytest.raises(NetworkError):
+            RoadSegment(0, 0, 1, length=1.0, density=-0.1)
+
+    def test_zero_lanes_rejected(self):
+        with pytest.raises(NetworkError):
+            RoadSegment(0, 0, 1, length=1.0, lanes=0)
+
+    def test_nonpositive_speed_rejected(self):
+        with pytest.raises(NetworkError):
+            RoadSegment(0, 0, 1, length=1.0, speed_limit=0.0)
+
+
+class TestIntersection:
+    def test_negative_id_rejected(self):
+        with pytest.raises(NetworkError):
+            Intersection(-1, Point(0, 0))
+
+
+class TestRoadNetwork:
+    def test_sizes(self):
+        net = _tiny_network()
+        assert net.n_intersections == 3
+        assert net.n_segments == 3
+
+    def test_dense_intersection_ids_required(self):
+        with pytest.raises(NetworkError, match="dense"):
+            RoadNetwork(
+                [Intersection(0, Point(0, 0)), Intersection(2, Point(1, 1))],
+                [],
+            )
+
+    def test_dense_segment_ids_required(self):
+        inters = [Intersection(0, Point(0, 0)), Intersection(1, Point(1, 0))]
+        with pytest.raises(NetworkError, match="dense"):
+            RoadNetwork(inters, [RoadSegment(1, 0, 1, length=1.0)])
+
+    def test_unknown_endpoint_rejected(self):
+        inters = [Intersection(0, Point(0, 0)), Intersection(1, Point(1, 0))]
+        with pytest.raises(NetworkError, match="unknown"):
+            RoadNetwork(inters, [RoadSegment(0, 0, 7, length=1.0)])
+
+    def test_outgoing_incoming(self):
+        net = _tiny_network()
+        assert net.outgoing(1) == (1, 2)
+        assert net.incoming(1) == (0,)
+        assert net.outgoing(2) == ()
+
+    def test_outgoing_unknown_raises(self):
+        with pytest.raises(NetworkError):
+            _tiny_network().outgoing(99)
+
+    def test_segment_lookup(self):
+        net = _tiny_network()
+        assert net.segment(2).target == 2
+        with pytest.raises(NetworkError):
+            net.segment(10)
+
+    def test_segment_midpoint(self):
+        net = _tiny_network()
+        assert net.segment_midpoint(0) == Point(50, 0)
+
+    def test_densities_vector(self):
+        net = _tiny_network()
+        np.testing.assert_allclose(net.densities(), [0.01, 0.02, 0.03])
+
+    def test_set_densities(self):
+        net = _tiny_network()
+        net.set_densities([0.1, 0.2, 0.3])
+        assert net.segment(1).density == 0.2
+
+    def test_set_densities_wrong_shape(self):
+        with pytest.raises(NetworkError, match="shape"):
+            _tiny_network().set_densities([0.1])
+
+    def test_set_densities_negative_rejected(self):
+        with pytest.raises(NetworkError, match="non-negative"):
+            _tiny_network().set_densities([0.1, -0.2, 0.3])
+
+    def test_total_length(self):
+        assert _tiny_network().total_length() == 300.0
+
+    def test_area(self):
+        assert _tiny_network().area_km2() == pytest.approx(0.01)

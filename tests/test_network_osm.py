@@ -1,0 +1,84 @@
+"""Tests for the minimal OSM XML reader."""
+
+import pytest
+
+from repro.exceptions import DataError
+from repro.network.osm import load_osm_xml
+
+_OSM_SAMPLE = """<?xml version="1.0" encoding="UTF-8"?>
+<osm version="0.6">
+  <node id="1" lat="0.000" lon="0.000"/>
+  <node id="2" lat="0.001" lon="0.000"/>
+  <node id="3" lat="0.002" lon="0.000"/>
+  <node id="4" lat="0.001" lon="0.001"/>
+  <way id="10">
+    <nd ref="1"/><nd ref="2"/><nd ref="3"/>
+    <tag k="highway" v="residential"/>
+    <tag k="name" v="Main Street"/>
+  </way>
+  <way id="11">
+    <nd ref="2"/><nd ref="4"/>
+    <tag k="highway" v="primary"/>
+    <tag k="oneway" v="yes"/>
+    <tag k="maxspeed" v="60"/>
+    <tag k="lanes" v="2"/>
+  </way>
+  <way id="12">
+    <nd ref="3"/><nd ref="4"/>
+    <tag k="highway" v="footway"/>
+  </way>
+</osm>
+"""
+
+
+@pytest.fixture
+def osm_file(tmp_path):
+    path = tmp_path / "sample.osm"
+    path.write_text(_OSM_SAMPLE)
+    return path
+
+
+class TestLoadOsm:
+    def test_parses_network(self, osm_file):
+        net = load_osm_xml(osm_file)
+        # junctions: 1, 2, 3, 4 (2 shared; 1/3/4 endpoints)
+        assert net.n_intersections == 4
+
+    def test_way_split_at_junction(self, osm_file):
+        net = load_osm_xml(osm_file)
+        # way 10 splits at node 2 -> 2 streets two-way = 4 segments;
+        # way 11 oneway -> 1 segment; footway ignored
+        assert net.n_segments == 5
+
+    def test_oneway_honoured(self, osm_file):
+        net = load_osm_xml(osm_file)
+        directed = {(s.source, s.target) for s in net.segments}
+        reversed_pairs = {(t, s) for (s, t) in directed}
+        one_way_count = len(directed - reversed_pairs)
+        assert one_way_count == 1
+
+    def test_maxspeed_and_lanes_parsed(self, osm_file):
+        net = load_osm_xml(osm_file)
+        fast = [s for s in net.segments if s.lanes == 2]
+        assert len(fast) == 1
+        assert fast[0].speed_limit == pytest.approx(60 / 3.6)
+
+    def test_street_name_kept(self, osm_file):
+        net = load_osm_xml(osm_file)
+        assert any(s.name == "Main Street" for s in net.segments)
+
+    def test_no_drivable_ways_raises(self, tmp_path):
+        path = tmp_path / "empty.osm"
+        path.write_text('<?xml version="1.0"?><osm version="0.6"></osm>')
+        with pytest.raises(DataError, match="no drivable"):
+            load_osm_xml(path)
+
+    def test_invalid_xml_raises(self, tmp_path):
+        path = tmp_path / "broken.osm"
+        path.write_text("<osm><way>")
+        with pytest.raises(DataError, match="invalid OSM XML"):
+            load_osm_xml(path)
+
+    def test_positive_segment_lengths(self, osm_file):
+        net = load_osm_xml(osm_file)
+        assert all(s.length > 0 for s in net.segments)

@@ -1,0 +1,88 @@
+"""Tests for the end-to-end SpatialPartitioningFramework."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PartitioningError
+from repro.network.generators import grid_network
+from repro.pipeline.framework import SpatialPartitioningFramework
+from repro.traffic.profiles import hotspot_profile
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_network(6, 6, two_way=True)
+
+
+@pytest.fixture(scope="module")
+def densities(network):
+    return hotspot_profile(network, n_hotspots=2, seed=0)
+
+
+class TestFramework:
+    def test_end_to_end(self, network, densities):
+        fw = SpatialPartitioningFramework(k=4, scheme="ASG", seed=0)
+        result = fw.partition(network, densities)
+        assert result.k == 4
+        assert result.labels.shape == (network.n_segments,)
+
+    def test_all_three_modules_timed(self, network, densities):
+        fw = SpatialPartitioningFramework(k=3, scheme="ASG", seed=0)
+        result = fw.partition(network, densities)
+        assert set(result.timings) == {"module1", "module2", "module3"}
+        assert result.total_time > 0
+
+    def test_uses_network_densities_by_default(self, network, densities):
+        network.set_densities(densities)
+        fw = SpatialPartitioningFramework(k=3, scheme="ASG", seed=0)
+        result = fw.partition(network)
+        np.testing.assert_allclose(fw.last_road_graph.features, densities)
+
+    def test_density_override(self, network, densities):
+        fw = SpatialPartitioningFramework(k=3, scheme="ASG", seed=0)
+        override = densities * 2.0
+        fw.partition(network, override)
+        np.testing.assert_allclose(fw.last_road_graph.features, override)
+
+    def test_partition_graph_skips_module1(self, network, densities):
+        from repro.network.dual import build_road_graph
+
+        graph = build_road_graph(network).with_features(densities)
+        fw = SpatialPartitioningFramework(k=3, scheme="ASG", seed=0)
+        result = fw.partition_graph(graph)
+        assert "module1" not in result.timings
+        assert result.k == 3
+
+    def test_evaluation_metrics(self, network, densities):
+        fw = SpatialPartitioningFramework(k=4, scheme="ASG", seed=0)
+        result = fw.partition(network, densities)
+        metrics = result.evaluate(fw.last_road_graph)
+        assert set(metrics) == {"k", "inter", "intra", "gdbi", "ans"}
+        assert metrics["k"] == 4
+
+    def test_result_validates(self, network, densities):
+        fw = SpatialPartitioningFramework(k=4, scheme="ASG", seed=0)
+        result = fw.partition(network, densities)
+        assert result.validate(fw.last_road_graph).is_valid
+
+    def test_invalid_scheme(self):
+        with pytest.raises(PartitioningError):
+            SpatialPartitioningFramework(k=3, scheme="nonsense")
+
+    def test_invalid_k(self):
+        with pytest.raises(PartitioningError):
+            SpatialPartitioningFramework(k=0)
+
+    def test_reproducible(self, network, densities):
+        a = SpatialPartitioningFramework(k=4, scheme="ASG", seed=3).partition(
+            network, densities
+        )
+        b = SpatialPartitioningFramework(k=4, scheme="ASG", seed=3).partition(
+            network, densities
+        )
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_partition_sizes_sum(self, network, densities):
+        fw = SpatialPartitioningFramework(k=4, scheme="ASG", seed=0)
+        result = fw.partition(network, densities)
+        assert result.partition_sizes().sum() == network.n_segments

@@ -1,0 +1,125 @@
+"""Tests for incremental/distributed repartitioning."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PartitioningError
+from repro.network.dual import build_road_graph
+from repro.network.generators import grid_network
+from repro.pipeline.incremental import IncrementalRepartitioner
+from repro.traffic.profiles import hotspot_profile
+
+
+@pytest.fixture(scope="module")
+def setup():
+    network = grid_network(6, 6, two_way=True)
+    graph = build_road_graph(network)
+    base = hotspot_profile(network, n_hotspots=2, noise=0.0, seed=0)
+    return network, graph, base
+
+
+class TestBootstrap:
+    def test_produces_k_partitions(self, setup):
+        __, graph, base = setup
+        inc = IncrementalRepartitioner(graph, k=4, seed=0)
+        labels = inc.bootstrap(base)
+        assert int(labels.max()) + 1 == 4
+        assert labels.shape == (graph.n_nodes,)
+
+    def test_labels_property_copies(self, setup):
+        __, graph, base = setup
+        inc = IncrementalRepartitioner(graph, k=3, seed=0)
+        inc.bootstrap(base)
+        snapshot = inc.labels
+        snapshot[0] = 99
+        assert inc.labels[0] != 99
+
+    def test_update_before_bootstrap_rejected(self, setup):
+        __, graph, base = setup
+        inc = IncrementalRepartitioner(graph, k=3, seed=0)
+        with pytest.raises(PartitioningError, match="bootstrap"):
+            inc.update(base)
+
+
+class TestUpdate:
+    def test_unchanged_densities_refresh_nothing(self, setup):
+        __, graph, base = setup
+        inc = IncrementalRepartitioner(graph, k=4, seed=0)
+        before = inc.bootstrap(base)
+        report = inc.update(base)
+        assert report.refreshed == []
+        np.testing.assert_array_equal(report.labels, before)
+
+    def test_uniform_scaling_below_threshold_keeps_regions(self, setup):
+        __, graph, base = setup
+        inc = IncrementalRepartitioner(graph, k=4, staleness_threshold=0.25, seed=0)
+        inc.bootstrap(base)
+        report = inc.update(base * 1.1)  # +10% everywhere, under 25%
+        assert report.refreshed == []
+
+    def test_localised_change_refreshes_some_regions(self, setup):
+        __, graph, base = setup
+        inc = IncrementalRepartitioner(graph, k=4, staleness_threshold=0.25, seed=0)
+        labels = inc.bootstrap(base)
+        # quadruple congestion inside one region only
+        changed = base.copy()
+        target = 0
+        changed[labels == target] *= 4.0
+        report = inc.update(changed)
+        assert target in report.refreshed
+        assert len(report.kept) >= 1
+
+    def test_kept_regions_preserve_membership(self, setup):
+        __, graph, base = setup
+        inc = IncrementalRepartitioner(graph, k=4, staleness_threshold=0.25, seed=0)
+        labels = inc.bootstrap(base)
+        changed = base.copy()
+        changed[labels == 0] *= 4.0
+        report = inc.update(changed)
+        # every kept region maps to exactly one new region with the
+        # same member set
+        for old in report.kept:
+            members = np.flatnonzero(labels == old)
+            new_ids = set(report.labels[members].tolist())
+            assert len(new_ids) == 1
+            new_id = new_ids.pop()
+            np.testing.assert_array_equal(
+                np.flatnonzero(report.labels == new_id), members
+            )
+
+    def test_labels_stay_dense(self, setup):
+        __, graph, base = setup
+        inc = IncrementalRepartitioner(graph, k=4, staleness_threshold=0.1, seed=0)
+        labels = inc.bootstrap(base)
+        changed = base.copy()
+        changed[labels == 1] *= 3.0
+        report = inc.update(changed)
+        k_new = int(report.labels.max()) + 1
+        assert set(report.labels.tolist()) == set(range(k_new))
+
+    def test_density_shape_checked(self, setup):
+        __, graph, base = setup
+        inc = IncrementalRepartitioner(graph, k=3, seed=0)
+        inc.bootstrap(base)
+        with pytest.raises(PartitioningError):
+            inc.update(base[:-1])
+
+    def test_invalid_params(self, setup):
+        __, graph, __base = setup
+        with pytest.raises(PartitioningError):
+            IncrementalRepartitioner(graph, k=0)
+        with pytest.raises(PartitioningError):
+            IncrementalRepartitioner(graph, k=3, staleness_threshold=-1.0)
+
+    def test_repeated_updates_remain_consistent(self, setup):
+        __, graph, base = setup
+        rng = np.random.default_rng(0)
+        inc = IncrementalRepartitioner(graph, k=4, staleness_threshold=0.2, seed=0)
+        inc.bootstrap(base)
+        densities = base
+        for __ in range(3):
+            densities = densities * rng.uniform(0.7, 1.6, size=densities.shape)
+            report = inc.update(densities)
+            labels = report.labels
+            assert labels.shape == (graph.n_nodes,)
+            assert labels.min() == 0

@@ -1,0 +1,60 @@
+"""Tests for partitioning-result (de)serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.pipeline.persistence import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.pipeline.results import PartitioningResult
+
+
+@pytest.fixture
+def result():
+    return PartitioningResult(
+        labels=np.array([0, 0, 1, 1, 2]),
+        scheme="ASG",
+        timings={"module2": 0.5, "module3": 0.25},
+        n_supernodes=4,
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, result):
+        restored = result_from_dict(result_to_dict(result))
+        np.testing.assert_array_equal(restored.labels, result.labels)
+        assert restored.scheme == result.scheme
+        assert restored.k == result.k
+        assert restored.timings == result.timings
+        assert restored.n_supernodes == result.n_supernodes
+
+    def test_file_round_trip(self, result, tmp_path):
+        path = save_result(result, tmp_path / "run.json")
+        restored = load_result(path)
+        np.testing.assert_array_equal(restored.labels, result.labels)
+        assert restored.total_time == pytest.approx(result.total_time)
+
+    def test_none_supernodes_preserved(self, tmp_path):
+        result = PartitioningResult(labels=np.array([0, 1]), scheme="AG")
+        restored = load_result(save_result(result, tmp_path / "r.json"))
+        assert restored.n_supernodes is None
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(DataError):
+            result_from_dict({"format": "something-else"})
+
+    def test_restored_result_evaluates(self, result, tmp_path):
+        from repro.graph.adjacency import Graph
+
+        graph = Graph(
+            5,
+            edges=[(0, 1), (1, 2), (2, 3), (3, 4)],
+            features=[0.0, 0.1, 0.5, 0.6, 1.0],
+        )
+        restored = load_result(save_result(result, tmp_path / "r.json"))
+        metrics = restored.evaluate(graph)
+        assert metrics["k"] == 3

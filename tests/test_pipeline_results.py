@@ -1,0 +1,62 @@
+"""Tests for the PartitioningResult container."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PartitioningError
+from repro.graph.adjacency import Graph
+from repro.pipeline.results import PartitioningResult
+
+
+@pytest.fixture
+def graph():
+    return Graph(
+        5,
+        edges=[(0, 1), (1, 2), (2, 3), (3, 4)],
+        features=[0.0, 0.1, 0.5, 0.6, 1.0],
+    )
+
+
+class TestPartitioningResult:
+    def test_k_auto_computed(self):
+        result = PartitioningResult(labels=np.array([0, 1, 2, 1]))
+        assert result.k == 3
+
+    def test_explicit_k_kept(self):
+        result = PartitioningResult(labels=np.array([0, 0, 1]), k=2)
+        assert result.k == 2
+
+    def test_empty_labels_rejected(self):
+        with pytest.raises(PartitioningError):
+            PartitioningResult(labels=np.array([]))
+
+    def test_total_time(self):
+        result = PartitioningResult(
+            labels=np.array([0, 1]), timings={"a": 1.0, "b": 0.5}
+        )
+        assert result.total_time == 1.5
+
+    def test_partition_sizes(self):
+        result = PartitioningResult(labels=np.array([0, 0, 1, 2, 2]))
+        np.testing.assert_array_equal(result.partition_sizes(), [2, 1, 2])
+
+    def test_evaluate_keys(self, graph):
+        result = PartitioningResult(labels=np.array([0, 0, 1, 1, 1]))
+        metrics = result.evaluate(graph)
+        assert set(metrics) == {"k", "inter", "intra", "gdbi", "ans"}
+
+    def test_validate_detects_disconnection(self, graph):
+        result = PartitioningResult(labels=np.array([0, 1, 1, 1, 0]))
+        assert not result.validate(graph).is_valid
+
+    def test_labels_coerced_to_int(self):
+        result = PartitioningResult(labels=[0.0, 1.0, 1.0])
+        assert result.labels.dtype == np.dtype(int)
+        assert result.k == 2
+
+    def test_scheme_and_supernodes_metadata(self):
+        result = PartitioningResult(
+            labels=np.array([0, 1]), scheme="ASG", n_supernodes=7
+        )
+        assert result.scheme == "ASG"
+        assert result.n_supernodes == 7

@@ -1,0 +1,88 @@
+"""Tests for the AG/ASG/NG/NSG/JG scheme runners."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PartitioningError
+from repro.pipeline.schemes import SCHEMES, run_scheme
+from repro.util.timer import ModuleTimer
+
+
+class TestRunScheme:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_every_scheme_runs(self, scheme, small_grid_graph):
+        result = run_scheme(scheme, small_grid_graph, 3, seed=0)
+        assert result.scheme == scheme
+        assert result.labels.shape == (small_grid_graph.n_nodes,)
+        assert result.k >= 1
+
+    @pytest.mark.parametrize("scheme", ("AG", "NG", "ASG", "NSG"))
+    def test_exact_k_produced(self, scheme, small_grid_graph):
+        result = run_scheme(scheme, small_grid_graph, 4, seed=0)
+        assert result.k == 4
+
+    def test_supergraph_schemes_record_supernodes(self, small_grid_graph):
+        result = run_scheme("ASG", small_grid_graph, 3, seed=0)
+        assert result.n_supernodes is not None
+        assert result.n_supernodes <= small_grid_graph.n_nodes
+
+    def test_direct_schemes_no_supernodes(self, small_grid_graph):
+        result = run_scheme("AG", small_grid_graph, 3, seed=0)
+        assert result.n_supernodes is None
+
+    def test_timer_records_modules(self, small_grid_graph):
+        timer = ModuleTimer()
+        run_scheme("ASG", small_grid_graph, 3, seed=0, timer=timer)
+        assert "module2" in timer.timings
+        assert "module3" in timer.timings
+
+    def test_direct_scheme_only_module3(self, small_grid_graph):
+        timer = ModuleTimer()
+        run_scheme("NG", small_grid_graph, 3, seed=0, timer=timer)
+        assert "module2" not in timer.timings
+        assert "module3" in timer.timings
+
+    def test_case_insensitive(self, small_grid_graph):
+        result = run_scheme("asg", small_grid_graph, 2, seed=0)
+        assert result.scheme == "ASG"
+
+    def test_unknown_scheme_rejected(self, small_grid_graph):
+        with pytest.raises(PartitioningError, match="unknown scheme"):
+            run_scheme("XG", small_grid_graph, 2)
+
+    def test_stability_threshold_forwarded(self, small_grid_graph):
+        plain = run_scheme("ASG", small_grid_graph, 3, epsilon_eta=0.0, seed=0)
+        stable = run_scheme("ASG", small_grid_graph, 3, epsilon_eta=0.99, seed=0)
+        assert stable.n_supernodes >= plain.n_supernodes
+
+    def test_partitions_connected(self, small_grid_graph):
+        for scheme in ("AG", "ASG", "NG", "NSG"):
+            result = run_scheme(scheme, small_grid_graph, 3, seed=1)
+            assert result.validate(small_grid_graph).is_valid, scheme
+
+    def test_deterministic_given_seed(self, small_grid_graph):
+        a = run_scheme("ASG", small_grid_graph, 3, seed=9)
+        b = run_scheme("ASG", small_grid_graph, 3, seed=9)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+
+class TestBuilderParamForwarding:
+    def test_superlink_mode_forwarded(self, small_grid_graph):
+        a = run_scheme(
+            "ASG", small_grid_graph, 3, superlink_mode="supernode", seed=0
+        )
+        b = run_scheme("ASG", small_grid_graph, 3, superlink_mode="node", seed=0)
+        assert a.k == b.k == 3  # both modes produce valid partitionings
+
+    def test_kmeans_method_forwarded(self, small_grid_graph):
+        result = run_scheme(
+            "ASG", small_grid_graph, 3, kmeans_method="optimal", seed=0
+        )
+        assert result.k == 3
+        assert result.validate(small_grid_graph).is_valid
+
+    def test_invalid_kmeans_method_raises(self, small_grid_graph):
+        from repro.exceptions import GraphError
+
+        with pytest.raises(GraphError):
+            run_scheme("ASG", small_grid_graph, 3, kmeans_method="bogus")

@@ -1,0 +1,193 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.clustering.kmeans import kmeans_1d
+from repro.clustering.optimality import (
+    clustering_gain,
+    moderated_clustering_gain,
+)
+from repro.core.alpha_cut import alpha_cut_quadratic_value, alpha_cut_value
+from repro.graph.adjacency import Graph
+from repro.graph.components import connected_components, is_connected
+from repro.metrics.distances import mean_abs_cross, mean_abs_pairwise
+from repro.metrics.partition_quality import (
+    cost_of_partitioning,
+    partition_volume,
+)
+from repro.supergraph.stability import stability
+
+# -- strategies ---------------------------------------------------------
+
+densities = arrays(
+    dtype=float,
+    shape=st.integers(min_value=4, max_value=40),
+    elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+
+
+@st.composite
+def random_graph(draw, min_nodes=4, max_nodes=16):
+    """A random undirected weighted graph with >= 1 edge."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    chosen = draw(
+        st.lists(
+            st.sampled_from(possible), min_size=1, max_size=len(possible), unique=True
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+            min_size=len(chosen),
+            max_size=len(chosen),
+        )
+    )
+    edges = [(u, v, w) for (u, v), w in zip(chosen, weights)]
+    return Graph(n, edges=edges)
+
+
+@st.composite
+def graph_with_labels(draw):
+    g = draw(random_graph())
+    labels = draw(
+        st.lists(
+            st.integers(0, 3), min_size=g.n_nodes, max_size=g.n_nodes
+        )
+    )
+    __, dense = np.unique(labels, return_inverse=True)
+    return g, dense
+
+
+# -- k-means ------------------------------------------------------------
+
+
+class TestKmeansProperties:
+    @given(values=densities, kappa=st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_labels_within_range_and_inertia_nonnegative(self, values, kappa):
+        kappa = min(kappa, len(values))
+        result = kmeans_1d(values, kappa)
+        assert result.labels.min() >= 0
+        assert result.labels.max() < kappa
+        assert result.inertia >= 0.0
+
+    @given(values=densities)
+    @settings(max_examples=40, deadline=None)
+    def test_nearest_center_assignment(self, values):
+        kappa = min(3, len(values))
+        result = kmeans_1d(values, kappa)
+        d = np.abs(np.asarray(values)[:, None] - result.centers[None, :])
+        best = d[np.arange(len(values)), result.labels]
+        assert (best <= d.min(axis=1) + 1e-12).all()
+
+
+class TestOptimalityProperties:
+    @given(values=densities, kappa=st.integers(2, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_mcg_bounded_by_gain(self, values, kappa):
+        kappa = min(kappa, len(values))
+        labels = kmeans_1d(values, kappa).labels
+        mcg = moderated_clustering_gain(values, labels)
+        gain = clustering_gain(values, labels)
+        assert 0.0 <= mcg <= gain + 1e-9
+
+
+# -- stability ----------------------------------------------------------
+
+
+class TestStabilityProperties:
+    @given(
+        feats=arrays(
+            dtype=float,
+            shape=st.integers(1, 30),
+            elements=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_stability_in_unit_interval(self, feats):
+        assert 0.0 <= stability(feats) <= 1.0
+
+    @given(
+        value=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        n=st.integers(1, 20),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_constant_supernode_fully_stable(self, value, n):
+        assert stability([value] * n) == pytest.approx(1.0)
+
+
+# -- graph invariants ----------------------------------------------------
+
+
+class TestGraphProperties:
+    @given(g=random_graph())
+    @settings(max_examples=40, deadline=None)
+    def test_components_partition_nodes(self, g):
+        comp = connected_components(g.adjacency)
+        assert comp.shape == (g.n_nodes,)
+        # each component is internally connected
+        for cid in range(comp.max() + 1):
+            members = np.flatnonzero(comp == cid)
+            assert is_connected(g.adjacency, members)
+
+    @given(g=random_graph())
+    @settings(max_examples=40, deadline=None)
+    def test_degree_sum_is_twice_total_weight(self, g):
+        assert g.degree().sum() == pytest.approx(2.0 * g.total_weight())
+
+
+# -- alpha-cut equivalences ----------------------------------------------
+
+
+class TestAlphaCutProperties:
+    @given(data=graph_with_labels())
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_eq5_equals_eq6(self, data):
+        g, labels = data
+        assert alpha_cut_value(g.adjacency, labels) == pytest.approx(
+            alpha_cut_quadratic_value(g.adjacency, labels), abs=1e-8
+        )
+
+    @given(data=graph_with_labels())
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_cost_plus_volume_conserved(self, data):
+        g, labels = data
+        total = g.total_weight()
+        cost = cost_of_partitioning(g.adjacency, labels)
+        volume = partition_volume(g.adjacency, labels)
+        assert cost + volume == pytest.approx(total)
+
+
+# -- metric helpers -------------------------------------------------------
+
+
+class TestDistanceProperties:
+    @given(values=densities)
+    @settings(max_examples=40, deadline=None)
+    def test_mean_abs_pairwise_nonnegative(self, values):
+        assert mean_abs_pairwise(values) >= 0.0
+
+    @given(x=densities, y=densities)
+    @settings(max_examples=40, deadline=None)
+    def test_mean_abs_cross_symmetric(self, x, y):
+        assert mean_abs_cross(x, y) == pytest.approx(mean_abs_cross(y, x))
+
+    @given(values=densities, shift=st.floats(0.0, 5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_mean_abs_pairwise_translation_invariant(self, values, shift):
+        assert mean_abs_pairwise(values) == pytest.approx(
+            mean_abs_pairwise(np.asarray(values) + shift), abs=1e-9
+        )

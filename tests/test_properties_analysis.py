@@ -1,0 +1,138 @@
+"""Property-based tests for the analysis and control layers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.consensus import (
+    coassociation_matrix,
+    consensus_partition,
+    stability_map,
+)
+from repro.analysis.flows import internal_trip_share, region_od_matrix
+from repro.analysis.mfd import RegionMFD
+from repro.graph.adjacency import Graph
+from repro.traffic.mntg import Trajectory
+
+
+def _chain(n):
+    return Graph(n, edges=[(i, i + 1) for i in range(n - 1)])
+
+
+@st.composite
+def chain_with_labelings(draw):
+    n = draw(st.integers(4, 16))
+    t = draw(st.integers(1, 5))
+    labelings = [
+        np.unique(
+            draw(st.lists(st.integers(0, 3), min_size=n, max_size=n)),
+            return_inverse=True,
+        )[1]
+        for __ in range(t)
+    ]
+    return _chain(n), labelings
+
+
+class TestConsensusProperties:
+    @given(data=chain_with_labelings())
+    @settings(max_examples=40, deadline=None)
+    def test_coassociation_in_unit_interval(self, data):
+        graph, labelings = data
+        coassoc = coassociation_matrix(graph.adjacency, labelings)
+        if coassoc.nnz:
+            assert coassoc.data.min() >= 0.0
+            assert coassoc.data.max() <= 1.0
+
+    @given(data=chain_with_labelings())
+    @settings(max_examples=40, deadline=None)
+    def test_consensus_covers_all_nodes(self, data):
+        graph, labelings = data
+        consensus = consensus_partition(graph.adjacency, labelings)
+        assert consensus.shape == (graph.n_nodes,)
+        k = int(consensus.max()) + 1
+        assert set(consensus.tolist()) == set(range(k))
+
+    @given(data=chain_with_labelings())
+    @settings(max_examples=40, deadline=None)
+    def test_identical_labelings_reproduce_partition(self, data):
+        graph, labelings = data
+        lab = labelings[0]
+        consensus = consensus_partition(graph.adjacency, [lab, lab, lab])
+        # the consensus refines the original into connected pieces:
+        # no consensus region spans two original partitions
+        for region in range(int(consensus.max()) + 1):
+            members = np.flatnonzero(consensus == region)
+            assert len(set(lab[members].tolist())) == 1
+
+    @given(data=chain_with_labelings())
+    @settings(max_examples=40, deadline=None)
+    def test_stability_in_unit_interval(self, data):
+        graph, labelings = data
+        stability = stability_map(graph.adjacency, labelings)
+        assert (stability >= 0).all() and (stability <= 1 + 1e-12).all()
+
+
+@st.composite
+def trips_and_labels(draw):
+    n_segments = draw(st.integers(4, 12))
+    labels = np.unique(
+        draw(st.lists(st.integers(0, 2), min_size=n_segments, max_size=n_segments)),
+        return_inverse=True,
+    )[1]
+    n_trips = draw(st.integers(0, 10))
+    trips = []
+    for i in range(n_trips):
+        length = draw(st.integers(1, 5))
+        route = draw(
+            st.lists(
+                st.integers(0, n_segments - 1), min_size=length, max_size=length
+            )
+        )
+        trips.append(Trajectory(i, 0, route))
+    return trips, labels
+
+
+class TestFlowProperties:
+    @given(data=trips_and_labels())
+    @settings(max_examples=40, deadline=None)
+    def test_od_total_equals_routed_trips(self, data):
+        trips, labels = data
+        od = region_od_matrix(trips, labels)
+        routed = sum(1 for t in trips if t.segments)
+        assert od.sum() == routed
+
+    @given(data=trips_and_labels())
+    @settings(max_examples=40, deadline=None)
+    def test_internal_share_bounds(self, data):
+        trips, labels = data
+        shares = internal_trip_share(trips, labels)
+        assert (shares >= 0).all() and (shares <= 1).all()
+
+
+class TestMFDProperties:
+    @given(
+        acc=st.lists(st.floats(0, 100, allow_nan=False), min_size=0, max_size=40),
+        flow=st.lists(st.floats(0, 50, allow_nan=False), min_size=0, max_size=40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_tightness_nonnegative_and_finite(self, acc, flow):
+        m = min(len(acc), len(flow))
+        mfd = RegionMFD(0, np.asarray(acc[:m]), np.asarray(flow[:m]))
+        value = mfd.tightness()
+        assert np.isfinite(value) and value >= 0.0
+
+    @given(
+        acc=st.lists(
+            st.floats(0, 100, allow_nan=False), min_size=4, max_size=30
+        ),
+        scale=st.floats(0.1, 10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_tightness_scale_invariant_in_flow(self, acc, scale):
+        rng = np.random.default_rng(0)
+        accumulation = np.asarray(acc)
+        flow = accumulation * 0.5 + rng.random(accumulation.size)
+        a = RegionMFD(0, accumulation, flow).tightness()
+        b = RegionMFD(0, accumulation, flow * scale).tightness()
+        assert a == pytest.approx(b, rel=1e-6)

@@ -1,0 +1,122 @@
+"""Property-based tests for the extension modules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis.tracking import churn, match_partitions
+from repro.baselines.kernighan_lin import cut_weight, kernighan_lin_refine
+from repro.graph.adjacency import Graph
+from repro.metrics.conductance import conductance, expansion
+from repro.traffic.smoothing import (
+    exponential_smoothing,
+    interval_aggregate,
+    moving_average,
+)
+
+label_vectors = st.lists(st.integers(0, 3), min_size=2, max_size=30).map(
+    lambda xs: np.unique(xs, return_inverse=True)[1]
+)
+
+series_arrays = arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(2, 16), st.integers(1, 5)),
+    elements=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+)
+
+
+@st.composite
+def graph_and_bipartition(draw):
+    n = draw(st.integers(4, 12))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    chosen = draw(
+        st.lists(st.sampled_from(possible), min_size=1, unique=True)
+    )
+    edges = [(u, v, 1.0) for u, v in chosen]
+    bits = draw(
+        st.lists(st.integers(0, 1), min_size=n, max_size=n).filter(
+            lambda xs: 0 < sum(xs) < len(xs)
+        )
+    )
+    return Graph(n, edges=edges), np.asarray(bits, dtype=int)
+
+
+class TestTrackingProperties:
+    @given(labels=label_vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_matching_to_self_is_identity(self, labels):
+        np.testing.assert_array_equal(match_partitions(labels, labels), labels)
+
+    @given(labels=label_vectors, data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_permutation_recovered(self, labels, data):
+        k = int(labels.max()) + 1
+        perm = data.draw(st.permutations(range(k)))
+        permuted = np.asarray([perm[v] for v in labels])
+        matched = match_partitions(labels, permuted)
+        np.testing.assert_array_equal(matched, labels)
+
+    @given(labels=label_vectors)
+    @settings(max_examples=30, deadline=None)
+    def test_churn_bounds(self, labels):
+        assert churn(labels, labels) == 0.0
+        flipped = labels.max() - labels
+        assert 0.0 <= churn(labels, flipped) <= 1.0
+
+
+class TestKernighanLinProperties:
+    @given(data=graph_and_bipartition())
+    @settings(max_examples=40, deadline=None)
+    def test_cut_never_increases(self, data):
+        graph, labels = data
+        before = cut_weight(graph.adjacency, labels)
+        refined = kernighan_lin_refine(graph.adjacency, labels)
+        assert cut_weight(graph.adjacency, refined) <= before + 1e-9
+
+    @given(data=graph_and_bipartition())
+    @settings(max_examples=40, deadline=None)
+    def test_sides_stay_nonempty(self, data):
+        graph, labels = data
+        refined = kernighan_lin_refine(graph.adjacency, labels)
+        assert 0 < refined.sum() < refined.size
+
+
+class TestConductanceProperties:
+    @given(data=graph_and_bipartition())
+    @settings(max_examples=40, deadline=None)
+    def test_conductance_in_unit_interval(self, data):
+        graph, labels = data
+        for value in conductance(graph.adjacency, labels):
+            assert 0.0 <= value <= 1.0 + 1e-12
+
+    @given(data=graph_and_bipartition())
+    @settings(max_examples=40, deadline=None)
+    def test_expansion_nonnegative(self, data):
+        graph, labels = data
+        assert all(v >= 0 for v in expansion(graph.adjacency, labels))
+
+
+class TestSmoothingProperties:
+    @given(series=series_arrays, window=st.integers(1, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_moving_average_bounded_by_extremes(self, series, window):
+        out = moving_average(series, window)
+        assert out.min() >= series.min() - 1e-9
+        assert out.max() <= series.max() + 1e-9
+
+    @given(series=series_arrays, alpha=st.floats(0.05, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_ewma_bounded_by_extremes(self, series, alpha):
+        out = exponential_smoothing(series, alpha)
+        assert out.min() >= series.min() - 1e-9
+        assert out.max() <= series.max() + 1e-9
+
+    @given(series=series_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_aggregate_preserves_mean(self, series):
+        t = series.shape[0]
+        factor = 2 if t % 2 == 0 else 1
+        out = interval_aggregate(series, factor)
+        assert out.mean() == pytest.approx(series.mean(), abs=1e-9)

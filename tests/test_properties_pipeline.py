@@ -1,0 +1,92 @@
+"""Whole-pipeline property tests.
+
+hypothesis generates random small road networks with random congestion
+fields; the framework must always deliver the contract: exactly k
+disjoint, connected partitions covering every segment, for every
+scheme, with sane metric values.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.validation import validate_partitioning
+from repro.network.dual import build_road_graph
+from repro.network.generators import grid_network, ring_radial_network
+from repro.pipeline.schemes import run_scheme
+
+
+@st.composite
+def network_with_densities(draw):
+    """A small road network plus a random density field."""
+    kind = draw(st.sampled_from(["grid", "ring"]))
+    if kind == "grid":
+        rows = draw(st.integers(3, 5))
+        cols = draw(st.integers(3, 5))
+        network = grid_network(rows, cols, two_way=True)
+    else:
+        rings = draw(st.integers(2, 3))
+        radials = draw(st.integers(4, 7))
+        network = ring_radial_network(rings, radials)
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    style = draw(st.sampled_from(["uniform", "bimodal", "sparse"]))
+    n = network.n_segments
+    if style == "uniform":
+        densities = rng.random(n) * 0.15
+    elif style == "bimodal":
+        densities = np.where(rng.random(n) < 0.5, 0.01, 0.12)
+        densities = densities * rng.uniform(0.8, 1.2, size=n)
+    else:
+        densities = np.zeros(n)
+        hot = rng.choice(n, size=max(1, n // 5), replace=False)
+        densities[hot] = rng.random(hot.size) * 0.15
+    return network, densities, seed
+
+
+class TestPipelineProperties:
+    @given(data=network_with_densities(), k=st.integers(2, 5))
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_asg_contract(self, data, k):
+        network, densities, seed = data
+        graph = build_road_graph(network).with_features(densities)
+        result = run_scheme("ASG", graph, k, seed=seed)
+        validation = validate_partitioning(graph.adjacency, result.labels)
+        assert validation.is_valid
+        assert result.labels.shape == (network.n_segments,)
+        assert sum(validation.sizes) == network.n_segments
+
+    @given(data=network_with_densities(), k=st.integers(2, 4))
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_ag_exact_k_and_connected(self, data, k):
+        network, densities, seed = data
+        graph = build_road_graph(network).with_features(densities)
+        result = run_scheme("AG", graph, k, seed=seed)
+        assert result.k == k
+        assert validate_partitioning(graph.adjacency, result.labels).is_valid
+
+    @given(data=network_with_densities())
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_metrics_always_finite(self, data):
+        network, densities, seed = data
+        graph = build_road_graph(network).with_features(densities)
+        result = run_scheme("ASG", graph, 3, seed=seed)
+        metrics = result.evaluate(graph)
+        for name, value in metrics.items():
+            assert np.isfinite(value), (name, value)
+        assert metrics["inter"] >= 0
+        assert metrics["intra"] >= 0
+        assert metrics["ans"] >= 0

@@ -1,0 +1,60 @@
+"""Tests for the public API surface (repro.__init__)."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ exports missing name {name}"
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_key_classes_importable(self):
+        from repro import (
+            AlphaCutPartitioner,
+            IncrementalRepartitioner,
+            MultilevelPartitioner,
+            NcutPartitioner,
+            PartitionTracker,
+            SpatialPartitioningFramework,
+            Supergraph,
+        )
+
+    def test_subpackages_importable(self):
+        for module in (
+            "repro.analysis",
+            "repro.baselines",
+            "repro.clustering",
+            "repro.core",
+            "repro.datasets",
+            "repro.graph",
+            "repro.metrics",
+            "repro.network",
+            "repro.pipeline",
+            "repro.supergraph",
+            "repro.traffic",
+            "repro.util",
+            "repro.viz",
+        ):
+            importlib.import_module(module)
+
+    def test_docstring_example_runs(self):
+        """The quickstart in the package docstring must stay valid."""
+        from repro import SpatialPartitioningFramework, small_network
+
+        network, densities = small_network(seed=7)
+        framework = SpatialPartitioningFramework(k=6, scheme="ASG", seed=7)
+        result = framework.partition(network, densities)
+        assert sorted(result.evaluate(framework.last_road_graph)) == [
+            "ans",
+            "gdbi",
+            "inter",
+            "intra",
+            "k",
+        ]

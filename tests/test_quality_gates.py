@@ -1,0 +1,77 @@
+"""Repository quality gates.
+
+Mechanical checks that keep the codebase at release quality: every
+module, public class and public function carries a docstring, and the
+package exposes a consistent version.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    prefix = repro.__name__ + "."
+    for info in pkgutil.walk_packages(repro.__path__, prefix):
+        yield importlib.import_module(info.name)
+
+
+ALL_MODULES = list(_walk_modules())
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize(
+        "module", ALL_MODULES, ids=[m.__name__ for m in ALL_MODULES]
+    )
+    def test_module_docstring(self, module):
+        assert module.__doc__ and module.__doc__.strip(), (
+            f"{module.__name__} lacks a module docstring"
+        )
+
+    @pytest.mark.parametrize(
+        "module", ALL_MODULES, ids=[m.__name__ for m in ALL_MODULES]
+    )
+    def test_public_callables_documented(self, module):
+        undocumented = []
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+                continue
+            if getattr(obj, "__module__", None) != module.__name__:
+                continue  # re-exports documented at their home
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+        assert not undocumented, (
+            f"{module.__name__} has undocumented public symbols: {undocumented}"
+        )
+
+
+class TestVersion:
+    def test_version_matches_pyproject(self):
+        from pathlib import Path
+
+        pyproject = (
+            Path(repro.__file__).parent.parent.parent / "pyproject.toml"
+        ).read_text(encoding="utf-8")
+        assert f'version = "{repro.__version__}"' in pyproject
+
+
+class TestExceptionHierarchy:
+    def test_all_library_errors_catchable(self):
+        from repro import exceptions
+
+        base = exceptions.ReproError
+        for name in dir(exceptions):
+            obj = getattr(exceptions, name)
+            if (
+                inspect.isclass(obj)
+                and issubclass(obj, Exception)
+                and obj is not base
+                and obj.__module__ == exceptions.__name__
+            ):
+                assert issubclass(obj, base), name

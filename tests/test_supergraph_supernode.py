@@ -1,0 +1,91 @@
+"""Tests for supernode creation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.adjacency import Graph
+from repro.supergraph.supernode import (
+    Supernode,
+    create_supernodes,
+    membership_vector,
+)
+
+
+def _path_adj(n):
+    return Graph(n, edges=[(i, i + 1) for i in range(n - 1)]).adjacency
+
+
+class TestSupernode:
+    def test_size(self):
+        sn = Supernode(0, [1, 2, 3], 0.5)
+        assert sn.size == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            Supernode(0, [], 0.0)
+
+    def test_member_mean(self):
+        sn = Supernode(0, [0, 2], 0.0)
+        assert sn.member_mean([1.0, 9.0, 3.0]) == pytest.approx(2.0)
+
+
+class TestCreateSupernodes:
+    def test_aligned_clusters_one_supernode_each(self):
+        adj = _path_adj(6)
+        labels = [0, 0, 0, 1, 1, 1]
+        sns = create_supernodes(adj, labels, cluster_means=[0.1, 0.9])
+        assert len(sns) == 2
+        assert sns[0].feature == 0.1
+        assert sns[1].feature == 0.9
+
+    def test_disconnected_cluster_splits(self):
+        adj = _path_adj(5)
+        labels = [0, 1, 0, 1, 0]  # cluster 0 is three isolated nodes
+        sns = create_supernodes(adj, labels, cluster_means=[0.1, 0.9])
+        assert len(sns) == 5
+
+    def test_cluster_mean_assigned_by_label(self):
+        adj = _path_adj(4)
+        labels = [0, 0, 1, 1]
+        sns = create_supernodes(adj, labels, cluster_means=[0.25, 0.75])
+        features = sorted(sn.feature for sn in sns)
+        assert features == [0.25, 0.75]
+
+    def test_member_mean_fallback(self):
+        adj = _path_adj(4)
+        labels = [0, 0, 1, 1]
+        sns = create_supernodes(adj, labels, features=[1.0, 3.0, 5.0, 7.0])
+        features = sorted(sn.feature for sn in sns)
+        assert features == [2.0, 6.0]
+
+    def test_cover_is_partition(self):
+        adj = _path_adj(7)
+        labels = [0, 1, 1, 0, 2, 2, 2]
+        sns = create_supernodes(adj, labels, cluster_means=[0.1, 0.5, 0.9])
+        member_of = membership_vector(sns, 7)
+        assert (member_of >= 0).all()
+
+    def test_requires_means_or_features(self):
+        with pytest.raises(GraphError):
+            create_supernodes(_path_adj(3), [0, 0, 0])
+
+    def test_cluster_index_out_of_range(self):
+        with pytest.raises(GraphError, match="out of range"):
+            create_supernodes(_path_adj(3), [0, 0, 5], cluster_means=[0.1])
+
+
+class TestMembershipVector:
+    def test_basic(self):
+        sns = [Supernode(0, [0, 1], 0.1), Supernode(1, [2], 0.9)]
+        np.testing.assert_array_equal(membership_vector(sns, 3), [0, 0, 1])
+
+    def test_overlap_rejected(self):
+        sns = [Supernode(0, [0, 1], 0.1), Supernode(1, [1, 2], 0.9)]
+        with pytest.raises(GraphError, match="overlap"):
+            membership_vector(sns, 3)
+
+    def test_uncovered_rejected(self):
+        sns = [Supernode(0, [0], 0.1)]
+        with pytest.raises(GraphError, match="not covered"):
+            membership_vector(sns, 2)

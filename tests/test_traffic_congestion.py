@@ -1,0 +1,114 @@
+"""Tests for congestion-aware speeds and routing."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.network.generators import grid_network
+from repro.traffic.congestion import (
+    CongestionAwareRouter,
+    congested_speeds,
+    congested_travel_times,
+)
+from repro.traffic.routing import Router
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_network(4, 4, spacing=100.0, two_way=True)
+
+
+class TestCongestedSpeeds:
+    def test_free_flow_at_zero_density(self, network):
+        speeds = congested_speeds(network, np.zeros(network.n_segments))
+        expected = [seg.speed_limit for seg in network.segments]
+        np.testing.assert_allclose(speeds, expected)
+
+    def test_speed_drops_with_density(self, network):
+        light = congested_speeds(network, np.full(network.n_segments, 0.02))
+        heavy = congested_speeds(network, np.full(network.n_segments, 0.10))
+        assert (heavy < light).all()
+
+    def test_crawl_floor_at_jam(self, network):
+        speeds = congested_speeds(network, np.full(network.n_segments, 0.20))
+        limits = np.array([seg.speed_limit for seg in network.segments])
+        np.testing.assert_allclose(speeds, limits * 0.05)
+
+    def test_greenshields_linear(self, network):
+        """Speed falls linearly: at half jam density, half free flow."""
+        speeds = congested_speeds(network, np.full(network.n_segments, 0.075))
+        limits = np.array([seg.speed_limit for seg in network.segments])
+        np.testing.assert_allclose(speeds, limits * 0.5)
+
+    def test_lanes_raise_effective_capacity(self):
+        from repro.network.geometry import Point
+        from repro.network.model import Intersection, RoadNetwork, RoadSegment
+
+        net = RoadNetwork(
+            [Intersection(0, Point(0, 0)), Intersection(1, Point(100, 0))],
+            [
+                RoadSegment(0, 0, 1, length=100.0, lanes=1),
+                RoadSegment(1, 1, 0, length=100.0, lanes=2),
+            ],
+        )
+        speeds = congested_speeds(net, [0.1, 0.1])
+        assert speeds[1] > speeds[0]  # same density, more lanes -> faster
+
+    def test_invalid_args(self, network):
+        with pytest.raises(DataError):
+            congested_speeds(network, [0.1])
+        with pytest.raises(DataError):
+            congested_speeds(
+                network, np.zeros(network.n_segments), jam_density=0.0
+            )
+        with pytest.raises(DataError):
+            congested_speeds(
+                network, np.zeros(network.n_segments), min_fraction=0.0
+            )
+
+
+class TestCongestedTravelTimes:
+    def test_times_increase_with_density(self, network):
+        free = congested_travel_times(network, np.zeros(network.n_segments))
+        jammed = congested_travel_times(
+            network, np.full(network.n_segments, 0.12)
+        )
+        assert (jammed > free).all()
+
+    def test_free_flow_matches_router_costs(self, network):
+        times = congested_travel_times(network, np.zeros(network.n_segments))
+        for seg in network.segments:
+            assert times[seg.id] == pytest.approx(seg.length / seg.speed_limit)
+
+
+class TestCongestionAwareRouter:
+    def test_matches_free_flow_router_at_zero_density(self, network):
+        aware = CongestionAwareRouter(network, np.zeros(network.n_segments))
+        plain = Router(network, weight="time")
+        __, aware_cost = aware.shortest_path(0, 15)
+        __, plain_cost = plain.shortest_path(0, 15)
+        assert aware_cost == pytest.approx(plain_cost)
+
+    def test_routes_around_congestion(self, network):
+        plain = Router(network, weight="time")
+        path, __ = plain.shortest_path(0, 15)
+        densities = np.zeros(network.n_segments)
+        densities[path] = 0.145  # jam the free-flow route
+        aware = CongestionAwareRouter(network, densities)
+        new_path, __ = aware.shortest_path(0, 15)
+        assert new_path != path  # detours
+
+    def test_update_changes_costs(self, network):
+        aware = CongestionAwareRouter(network, np.zeros(network.n_segments))
+        __, before = aware.shortest_path(0, 15)
+        aware.update(np.full(network.n_segments, 0.1))
+        __, after = aware.shortest_path(0, 15)
+        assert after > before
+
+    def test_tree_consistent(self, network):
+        aware = CongestionAwareRouter(
+            network, np.full(network.n_segments, 0.05)
+        )
+        tree = aware.shortest_path_tree(0)
+        __, cost = aware.shortest_path(0, 10)
+        assert tree[10] == pytest.approx(cost)

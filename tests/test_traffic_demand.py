@@ -1,0 +1,150 @@
+"""Tests for OD demand modelling."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.network.generators import grid_network
+from repro.traffic.demand import (
+    ODMatrix,
+    gravity_model,
+    trips_from_od,
+    zone_centroids,
+)
+from repro.traffic.simulator import MicroSimulator
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_network(6, 6, spacing=100.0, two_way=True)
+
+
+@pytest.fixture(scope="module")
+def zones(network):
+    """Four quadrant zones of the 6x6 grid."""
+    quads = [[], [], [], []]
+    for inter in network.intersections:
+        r, c = divmod(inter.id, 6)
+        quads[(r >= 3) * 2 + (c >= 3)].append(inter.id)
+    return quads
+
+
+class TestODMatrix:
+    def test_valid(self, zones):
+        od = ODMatrix(zones, np.ones((4, 4)) * 5)
+        assert od.n_zones == 4
+        assert od.total_trips() == 80.0
+
+    def test_productions_attractions(self, zones):
+        trips = np.arange(16, dtype=float).reshape(4, 4)
+        od = ODMatrix(zones, trips)
+        np.testing.assert_allclose(od.productions(), trips.sum(axis=1))
+        np.testing.assert_allclose(od.attractions(), trips.sum(axis=0))
+
+    def test_shape_mismatch_rejected(self, zones):
+        with pytest.raises(DataError):
+            ODMatrix(zones, np.ones((3, 3)))
+
+    def test_negative_rejected(self, zones):
+        trips = np.ones((4, 4))
+        trips[0, 0] = -1
+        with pytest.raises(DataError):
+            ODMatrix(zones, trips)
+
+    def test_empty_zone_rejected(self):
+        with pytest.raises(DataError):
+            ODMatrix([[0], []], np.ones((2, 2)))
+
+
+class TestZoneCentroids:
+    def test_centroids(self, network, zones):
+        cents = zone_centroids(network, zones)
+        assert cents.shape == (4, 2)
+        # quadrant 0 (top-left in grid coords) centroid is left/lower
+        assert cents[0, 0] < cents[1, 0]
+        assert cents[0, 1] < cents[2, 1]
+
+
+class TestGravityModel:
+    def test_balances_margins(self, network, zones):
+        prods = np.array([100.0, 50.0, 50.0, 100.0])
+        attrs = np.array([75.0, 75.0, 75.0, 75.0])
+        od = gravity_model(network, zones, prods, attrs)
+        np.testing.assert_allclose(od.productions(), prods, rtol=1e-3)
+        np.testing.assert_allclose(od.attractions(), attrs, rtol=1e-3)
+
+    def test_distance_decay(self, network, zones):
+        prods = np.full(4, 100.0)
+        od = gravity_model(network, zones, prods, prods, beta=5e-3)
+        # zone 0 sends more to the adjacent zone 1 than to the
+        # diagonal zone 3
+        assert od.trips[0, 1] > od.trips[0, 3]
+
+    def test_zero_beta_no_decay(self, network, zones):
+        prods = np.full(4, 100.0)
+        od = gravity_model(network, zones, prods, prods, beta=0.0)
+        # without deterrence, all destinations of equal attraction get
+        # equal flows
+        np.testing.assert_allclose(
+            od.trips[0], od.trips[0][0], rtol=1e-6
+        )
+
+    def test_mismatched_totals_rejected(self, network, zones):
+        with pytest.raises(DataError, match="must match"):
+            gravity_model(
+                network, zones, np.full(4, 100.0), np.full(4, 50.0)
+            )
+
+    def test_invalid_args(self, network, zones):
+        with pytest.raises(DataError):
+            gravity_model(network, zones, np.full(3, 1.0), np.full(4, 1.0))
+        with pytest.raises(DataError):
+            gravity_model(
+                network, zones, np.full(4, 1.0), np.full(4, 1.0), beta=-1.0
+            )
+        with pytest.raises(DataError):
+            gravity_model(network, zones, np.zeros(4), np.zeros(4))
+
+
+class TestTripsFromOd:
+    def test_realises_expected_volume(self, network, zones):
+        prods = np.full(4, 50.0)
+        od = gravity_model(network, zones, prods, prods)
+        trips = trips_from_od(network, od, n_timestamps=50, seed=0)
+        # Poisson around 200 expected, minus same-intersection drops
+        assert 120 < len(trips) < 280
+
+    def test_trips_respect_zones(self, network, zones):
+        od = ODMatrix(zones, np.diag([0.0, 0.0, 0.0, 0.0]) + 0)
+        trips_mat = np.zeros((4, 4))
+        trips_mat[0, 3] = 30.0  # only quadrant 0 -> quadrant 3
+        od = ODMatrix(zones, trips_mat)
+        trips = trips_from_od(network, od, n_timestamps=50, seed=1)
+        assert trips
+        for trip in trips:
+            origin = network.segment(trip.segments[0]).source
+            dest = network.segment(trip.segments[-1]).target
+            assert origin in zones[0]
+            assert dest in zones[3]
+
+    def test_feeds_simulator(self, network, zones):
+        prods = np.full(4, 30.0)
+        od = gravity_model(network, zones, prods, prods)
+        trips = trips_from_od(network, od, n_timestamps=30, seed=0)
+        sim = MicroSimulator(network, seed=0)
+        result = sim.run(n_vehicles=0, n_steps=30, trips=trips)
+        assert result.counts.sum() > 0
+
+    def test_reproducible(self, network, zones):
+        prods = np.full(4, 20.0)
+        od = gravity_model(network, zones, prods, prods)
+        a = trips_from_od(network, od, n_timestamps=20, seed=5)
+        b = trips_from_od(network, od, n_timestamps=20, seed=5)
+        assert [t.segments for t in a] == [t.segments for t in b]
+
+    def test_invalid_args(self, network, zones):
+        od = ODMatrix(zones, np.ones((4, 4)))
+        with pytest.raises(DataError):
+            trips_from_od(network, od, n_timestamps=0)
+        with pytest.raises(DataError):
+            trips_from_od(network, od, n_timestamps=10, depart_horizon=0.0)

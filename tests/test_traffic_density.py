@@ -1,0 +1,116 @@
+"""Tests for map-matching and density computation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.network.generators import grid_network
+from repro.network.geometry import Point
+from repro.traffic.density import DensityMapper, densities_from_counts
+from repro.traffic.mntg import MNTGenerator
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_network(4, 4, spacing=100.0, two_way=True)
+
+
+@pytest.fixture(scope="module")
+def mapper(network):
+    return DensityMapper(network)
+
+
+class TestMatch:
+    def test_point_on_segment_matches_it(self, network, mapper):
+        a, b = network.segment_endpoints(0)
+        mid = a.midpoint(b)
+        matched = mapper.match(mid)
+        ma, mb = network.segment_endpoints(matched)
+        # matched segment must be geometrically coincident with seg 0
+        assert {(ma.x, ma.y), (mb.x, mb.y)} == {(a.x, a.y), (b.x, b.y)}
+
+    def test_offset_point_matches_nearest(self, mapper, network):
+        # a point 10 m off the middle of the bottom-left horizontal street
+        matched = mapper.match(Point(50.0, 10.0))
+        a, b = network.segment_endpoints(matched)
+        assert a.y == 0.0 and b.y == 0.0
+
+    def test_far_point_still_matches(self, mapper):
+        sid = mapper.match(Point(-500.0, -500.0))
+        assert sid >= 0
+
+    def test_match_many(self, mapper):
+        points = [Point(50, 0), Point(150, 0), Point(0, 50)]
+        ids = mapper.match_many(points)
+        assert ids.shape == (3,)
+
+    def test_empty_network_rejected(self):
+        from repro.network.model import Intersection, RoadNetwork
+
+        net = RoadNetwork([Intersection(0, Point(0, 0))], [])
+        with pytest.raises(DataError):
+            DensityMapper(net)
+
+
+class TestDensities:
+    def test_counts_to_densities(self, network):
+        counts = np.zeros(network.n_segments, dtype=int)
+        counts[0] = 5
+        dens = densities_from_counts(network, counts)
+        assert dens[0] == pytest.approx(5 / network.segment(0).length)
+        assert dens[1:].sum() == 0.0
+
+    def test_wrong_shape_rejected(self, network):
+        with pytest.raises(DataError):
+            densities_from_counts(network, [1, 2])
+
+    def test_negative_counts_rejected(self, network):
+        counts = np.zeros(network.n_segments, dtype=int)
+        counts[0] = -1
+        with pytest.raises(DataError):
+            densities_from_counts(network, counts)
+
+    def test_mapper_densities_sum_matches_vehicles(self, network, mapper):
+        points = [Point(50, 0), Point(50, 1), Point(250, 100)]
+        dens = mapper.densities(points)
+        lengths = np.array([s.length for s in network.segments])
+        assert (dens * lengths).sum() == pytest.approx(3.0)
+
+
+class TestAgainstGenerator:
+    def test_matching_recovers_true_segments(self, network, mapper):
+        """Every matched segment must be geometrically nearest: the
+        position lies exactly on its true segment, so the match's
+        point-to-segment distance must be ~0; and most matches agree
+        with the ground-truth segment (points at shared intersections
+        are legitimately ambiguous between incident segments)."""
+        from repro.traffic.density import _point_segment_distance
+
+        gen = MNTGenerator(network, seed=0)
+        trips = gen.generate_trajectories(60, 60)
+        positions = []
+        truths = []
+        for t in range(1, 10):
+            for vid, point in gen.positions_at(trips, t, dt=5.0):
+                positions.append(point)
+                truths.append(gen._segment_on_route(trips[vid], t, 5.0))
+        assert len(positions) >= 20
+
+        def twin_ids(sid):
+            seg = network.segment(sid)
+            return {
+                s.id
+                for s in network.segments
+                if {s.source, s.target} == {seg.source, seg.target}
+            }
+
+        agree = 0
+        for point, true_sid in zip(positions, truths):
+            matched = mapper.match(point)
+            ax, ay, bx, by = mapper._coords[matched]
+            assert (
+                _point_segment_distance(point.x, point.y, ax, ay, bx, by) < 1e-6
+            )
+            if matched in twin_ids(true_sid):
+                agree += 1
+        assert agree / len(positions) > 0.7

@@ -1,0 +1,105 @@
+"""Tests for the MNTG-like traffic generator."""
+
+import numpy as np
+import pytest
+
+from repro.network.generators import grid_network
+from repro.traffic.mntg import MNTGenerator
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_network(5, 5, two_way=True)
+
+
+class TestGenerateTrajectories:
+    def test_count_and_ids(self, network):
+        gen = MNTGenerator(network, seed=0)
+        trips = gen.generate_trajectories(20, 50)
+        assert len(trips) == 20
+        assert [t.vehicle_id for t in trips] == list(range(20))
+
+    def test_reproducible(self, network):
+        a = MNTGenerator(network, seed=5).generate_trajectories(10, 50)
+        b = MNTGenerator(network, seed=5).generate_trajectories(10, 50)
+        assert [t.segments for t in a] == [t.segments for t in b]
+
+    def test_routes_nonempty_and_contiguous(self, network):
+        trips = MNTGenerator(network, seed=1).generate_trajectories(15, 50)
+        for trip in trips:
+            assert trip.segments
+            node = network.segment(trip.segments[0]).source
+            for sid in trip.segments:
+                seg = network.segment(sid)
+                assert seg.source == node
+                node = seg.target
+
+    def test_departures_within_horizon(self, network):
+        trips = MNTGenerator(network, seed=2).generate_trajectories(
+            30, 100, depart_horizon=0.5
+        )
+        assert all(0 <= t.depart_time < 50 for t in trips)
+
+    def test_invalid_args(self, network):
+        gen = MNTGenerator(network, seed=0)
+        with pytest.raises(ValueError):
+            gen.generate_trajectories(0, 10)
+        with pytest.raises(ValueError):
+            gen.generate_trajectories(5, 0)
+        with pytest.raises(ValueError):
+            gen.generate_trajectories(5, 10, depart_horizon=0.0)
+
+    def test_centre_bias_concentrates_trips(self, network):
+        """Higher bias puts more trip endpoints near the centroid."""
+        xs = np.array([i.location.x for i in network.intersections])
+        ys = np.array([i.location.y for i in network.intersections])
+        cx, cy = xs.mean(), ys.mean()
+
+        def mean_endpoint_distance(bias):
+            gen = MNTGenerator(network, centre_bias=bias, seed=3)
+            trips = gen.generate_trajectories(100, 50)
+            dists = []
+            for t in trips:
+                seg = network.segment(t.segments[0])
+                loc = network.intersection(seg.source).location
+                dists.append(np.hypot(loc.x - cx, loc.y - cy))
+            return np.mean(dists)
+
+        assert mean_endpoint_distance(5.0) < mean_endpoint_distance(0.0)
+
+
+class TestPositions:
+    def test_vehicle_absent_before_departure(self, network):
+        gen = MNTGenerator(network, seed=0)
+        trips = gen.generate_trajectories(10, 100, depart_horizon=0.5)
+        late = [t for t in trips if t.depart_time > 0]
+        if late:
+            positions = dict(gen.positions_at(late, 0))
+            assert late[0].vehicle_id not in positions
+
+    def test_positions_on_network(self, network):
+        gen = MNTGenerator(network, seed=0)
+        trips = gen.generate_trajectories(20, 100)
+        positions = gen.positions_at(trips, 1, dt=5.0)
+        assert positions  # someone is driving
+        for __, point in positions:
+            assert 0 <= point.x <= 400 and 0 <= point.y <= 400
+
+    def test_occupancy_matches_positions_count(self, network):
+        gen = MNTGenerator(network, seed=4)
+        trips = gen.generate_trajectories(25, 100)
+        t = 2
+        occupancy = gen.occupancy_at(trips, t, dt=5.0)
+        positions = gen.positions_at(trips, t, dt=5.0)
+        assert sum(occupancy.values()) == len(positions)
+
+    def test_all_arrive_eventually(self, network):
+        gen = MNTGenerator(network, seed=0)
+        trips = gen.generate_trajectories(10, 10, depart_horizon=0.2)
+        assert gen.occupancy_at(trips, 100000) == {}
+
+    def test_bad_dt_raises(self, network):
+        gen = MNTGenerator(network, seed=0)
+        trips = gen.generate_trajectories(5, 10)
+        with pytest.raises(ValueError):
+            gen.positions_at(trips, 0, dt=0.0)

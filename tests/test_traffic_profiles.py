@@ -1,0 +1,85 @@
+"""Tests for synthetic congestion profiles."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.network.generators import grid_network
+from repro.traffic.profiles import hotspot_profile, peak_hour_series
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_network(8, 8, spacing=100.0, two_way=True)
+
+
+class TestHotspotProfile:
+    def test_shape_and_nonnegative(self, network):
+        dens = hotspot_profile(network, seed=0)
+        assert dens.shape == (network.n_segments,)
+        assert (dens >= 0).all()
+
+    def test_reproducible(self, network):
+        a = hotspot_profile(network, seed=9)
+        b = hotspot_profile(network, seed=9)
+        np.testing.assert_allclose(a, b)
+
+    def test_centre_more_congested_than_edge(self, network):
+        dens = hotspot_profile(network, n_hotspots=1, noise=0.0, seed=0)
+        mids = [network.segment_midpoint(i) for i in range(network.n_segments)]
+        centre = np.array([(m.x - 350) ** 2 + (m.y - 350) ** 2 for m in mids])
+        inner = dens[centre < 150**2].mean()
+        outer = dens[centre > 350**2].mean()
+        assert inner > outer
+
+    def test_explicit_hotspots(self, network):
+        dens = hotspot_profile(
+            network, hotspots=[(0.0, 0.0)], noise=0.0, seed=0
+        )
+        mids = [network.segment_midpoint(i) for i in range(network.n_segments)]
+        nearest = int(np.argmin([m.x**2 + m.y**2 for m in mids]))
+        assert dens[nearest] == dens.max()
+
+    def test_background_floor(self, network):
+        dens = hotspot_profile(
+            network, background=0.003, noise=0.0, decay=0.05, seed=0
+        )
+        assert dens.min() >= 0.003 - 1e-12
+
+    def test_invalid_args(self, network):
+        with pytest.raises(DataError):
+            hotspot_profile(network, n_hotspots=0)
+        with pytest.raises(DataError):
+            hotspot_profile(network, peak_density=0.0)
+        with pytest.raises(DataError):
+            hotspot_profile(network, decay=0.0)
+        with pytest.raises(DataError):
+            hotspot_profile(network, noise=-0.1)
+        with pytest.raises(DataError):
+            hotspot_profile(network, hotspots=[(1.0,)])
+
+
+class TestPeakHourSeries:
+    def test_shape(self, network):
+        series = peak_hour_series(network, n_steps=20, seed=0)
+        assert series.shape == (20, network.n_segments)
+
+    def test_peak_at_requested_step(self, network):
+        series = peak_hour_series(
+            network, n_steps=50, peak_step=30, noise=0.0, seed=0
+        )
+        totals = series.sum(axis=1)
+        assert int(np.argmax(totals)) == 30
+
+    def test_spatial_pattern_constant_over_time(self, network):
+        series = peak_hour_series(network, n_steps=10, noise=0.0, seed=0)
+        # every snapshot is a scalar multiple of the first
+        base = series[0] / series[0].sum()
+        for t in range(1, 10):
+            np.testing.assert_allclose(series[t] / series[t].sum(), base)
+
+    def test_invalid_args(self, network):
+        with pytest.raises(DataError):
+            peak_hour_series(network, n_steps=0)
+        with pytest.raises(DataError):
+            peak_hour_series(network, n_steps=10, peak_step=10)

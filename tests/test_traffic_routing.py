@@ -1,0 +1,85 @@
+"""Tests for Dijkstra routing."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.network.generators import grid_network
+from repro.network.geometry import Point
+from repro.network.model import Intersection, RoadNetwork, RoadSegment
+from repro.traffic.routing import Router, shortest_path
+
+
+def _one_way_triangle():
+    """0 -> 1 -> 2 and a slow direct 0 -> 2."""
+    intersections = [
+        Intersection(0, Point(0, 0)),
+        Intersection(1, Point(100, 0)),
+        Intersection(2, Point(200, 0)),
+    ]
+    segments = [
+        RoadSegment(0, 0, 1, length=100.0, speed_limit=20.0),
+        RoadSegment(1, 1, 2, length=100.0, speed_limit=20.0),
+        RoadSegment(2, 0, 2, length=210.0, speed_limit=10.0),
+    ]
+    return RoadNetwork(intersections, segments)
+
+
+class TestRouter:
+    def test_prefers_faster_route(self):
+        router = Router(_one_way_triangle(), weight="time")
+        path, cost = router.shortest_path(0, 2)
+        assert path == [0, 1]
+        assert cost == pytest.approx(10.0)
+
+    def test_length_weight_changes_choice(self):
+        router = Router(_one_way_triangle(), weight="length")
+        path, cost = router.shortest_path(0, 2)
+        assert path == [0, 1]  # 200 m < 210 m
+        assert cost == pytest.approx(200.0)
+
+    def test_same_source_target(self):
+        router = Router(_one_way_triangle())
+        path, cost = router.shortest_path(1, 1)
+        assert path == [] and cost == 0.0
+
+    def test_unreachable_returns_none(self):
+        router = Router(_one_way_triangle())
+        assert router.shortest_path(2, 0) is None
+
+    def test_out_of_range_raises(self):
+        router = Router(_one_way_triangle())
+        with pytest.raises(NetworkError):
+            router.shortest_path(0, 99)
+
+    def test_invalid_weight_raises(self):
+        with pytest.raises(ValueError):
+            Router(_one_way_triangle(), weight="hops")
+
+    def test_path_is_contiguous(self):
+        net = grid_network(5, 5, two_way=True)
+        router = Router(net)
+        path, __ = router.shortest_path(0, 24)
+        node = 0
+        for sid in path:
+            seg = net.segment(sid)
+            assert seg.source == node
+            node = seg.target
+        assert node == 24
+
+    def test_grid_two_way_all_reachable(self):
+        net = grid_network(4, 4, two_way=True)
+        dist = Router(net).shortest_path_tree(0)
+        assert np.isfinite(dist).all()
+
+    def test_tree_matches_pointwise(self):
+        net = grid_network(4, 4, two_way=True)
+        router = Router(net)
+        dist = router.shortest_path_tree(3)
+        for target in (0, 7, 15):
+            __, cost = router.shortest_path(3, target)
+            assert dist[target] == pytest.approx(cost)
+
+    def test_shortest_path_helper(self):
+        path, cost = shortest_path(_one_way_triangle(), 0, 2)
+        assert path == [0, 1]

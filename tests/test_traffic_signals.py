@@ -1,0 +1,120 @@
+"""Tests for traffic signals and their simulator coupling."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.network.generators import grid_network
+from repro.traffic.signals import TrafficSignal, signalize
+from repro.traffic.simulator import MicroSimulator
+
+
+class TestTrafficSignal:
+    def test_cycle_length(self):
+        signal = TrafficSignal(phases=[[0], [1]], durations=[3, 2])
+        assert signal.cycle_length == 5
+
+    def test_active_phase_progression(self):
+        signal = TrafficSignal(phases=[[0], [1]], durations=[2, 2])
+        assert [signal.active_phase(t) for t in range(5)] == [0, 0, 1, 1, 0]
+
+    def test_allows_follows_phase(self):
+        signal = TrafficSignal(phases=[[0], [1]], durations=[2, 2])
+        assert signal.allows(0, 0) and not signal.allows(1, 0)
+        assert signal.allows(1, 2) and not signal.allows(0, 2)
+
+    def test_ungoverned_segment_always_allowed(self):
+        signal = TrafficSignal(phases=[[0], [1]], durations=[1, 1])
+        assert signal.allows(99, 0) and signal.allows(99, 1)
+
+    def test_offset_shifts_cycle(self):
+        base = TrafficSignal(phases=[[0], [1]], durations=[2, 2])
+        shifted = TrafficSignal(phases=[[0], [1]], durations=[2, 2], offset=2)
+        assert shifted.active_phase(0) == base.active_phase(2)
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            TrafficSignal(phases=[], durations=[])
+        with pytest.raises(DataError):
+            TrafficSignal(phases=[[0]], durations=[1, 2])
+        with pytest.raises(DataError):
+            TrafficSignal(phases=[[0], [0]], durations=[1, 1])
+        with pytest.raises(DataError):
+            TrafficSignal(phases=[[0], [1]], durations=[1, 0])
+
+
+class TestSignalize:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return grid_network(5, 5, spacing=100.0, two_way=True)
+
+    def test_interior_junctions_signalised(self, network):
+        signals = signalize(network)
+        # interior nodes of a two-way grid have 4 incoming approaches
+        assert len(signals) >= 9  # the 3x3 interior at minimum
+
+    def test_phases_split_by_bearing(self, network):
+        signals = signalize(network)
+        iid, signal = next(iter(signals.items()))
+        assert len(signal.phases) == 2
+        assert signal.phases[0] and signal.phases[1]
+
+    def test_phase_members_are_incoming(self, network):
+        signals = signalize(network)
+        for iid, signal in signals.items():
+            incoming = set(network.incoming(iid))
+            for phase in signal.phases:
+                assert set(phase) <= incoming
+
+    def test_min_approaches_filter(self, network):
+        few = signalize(network, min_approaches=4)
+        many = signalize(network, min_approaches=3)
+        assert len(few) <= len(many)
+
+    def test_invalid_args(self, network):
+        with pytest.raises(DataError):
+            signalize(network, green_steps=0)
+        with pytest.raises(DataError):
+            signalize(network, min_approaches=1)
+
+
+class TestSignalsInSimulator:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return grid_network(5, 5, spacing=100.0, two_way=True)
+
+    def test_signals_slow_trips(self, network):
+        free = MicroSimulator(network, seed=0).run(n_vehicles=60, n_steps=40)
+        signals = signalize(network, green_steps=3)
+        held = MicroSimulator(network, seed=0).run(
+            n_vehicles=60, n_steps=40, signals=signals
+        )
+        assert held.completed_trips <= free.completed_trips
+
+    def test_signals_build_queues(self, network):
+        signals = signalize(network, green_steps=4)
+        result = MicroSimulator(network, seed=0).run(
+            n_vehicles=200, n_steps=40, signals=signals
+        )
+        baseline = MicroSimulator(network, seed=0).run(
+            n_vehicles=200, n_steps=40
+        )
+        # red phases hold vehicles on the network longer
+        assert result.counts.sum() >= baseline.counts.sum()
+
+    def test_conservation_with_signals(self, network):
+        signals = signalize(network)
+        result = MicroSimulator(network, seed=1).run(
+            n_vehicles=50, n_steps=30, signals=signals
+        )
+        assert result.counts.sum(axis=1).max() <= 50
+
+    def test_reproducible(self, network):
+        signals = signalize(network)
+        a = MicroSimulator(network, seed=2).run(
+            n_vehicles=40, n_steps=20, signals=signals
+        )
+        b = MicroSimulator(network, seed=2).run(
+            n_vehicles=40, n_steps=20, signals=signals
+        )
+        np.testing.assert_array_equal(a.counts, b.counts)

@@ -1,0 +1,103 @@
+"""Tests for the point-queue microsimulator."""
+
+import numpy as np
+import pytest
+
+from repro.network.generators import grid_network
+from repro.traffic.mntg import MNTGenerator, Trajectory
+from repro.traffic.simulator import MicroSimulator
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_network(4, 4, two_way=True)
+
+
+class TestRun:
+    def test_output_shapes(self, network):
+        sim = MicroSimulator(network, seed=0)
+        result = sim.run(n_vehicles=50, n_steps=20)
+        assert result.densities.shape == (20, network.n_segments)
+        assert result.counts.shape == (20, network.n_segments)
+        assert result.n_steps == 20
+
+    def test_densities_are_counts_over_length(self, network):
+        sim = MicroSimulator(network, seed=0)
+        result = sim.run(n_vehicles=50, n_steps=10)
+        lengths = np.array([s.length for s in network.segments])
+        np.testing.assert_allclose(
+            result.densities, result.counts / lengths[np.newaxis, :]
+        )
+
+    def test_reproducible(self, network):
+        a = MicroSimulator(network, seed=3).run(n_vehicles=40, n_steps=15)
+        b = MicroSimulator(network, seed=3).run(n_vehicles=40, n_steps=15)
+        np.testing.assert_array_equal(a.counts, b.counts)
+
+    def test_vehicles_complete(self, network):
+        sim = MicroSimulator(network, seed=0)
+        result = sim.run(n_vehicles=30, n_steps=200)
+        assert result.completed_trips > 0
+
+    def test_conservation(self, network):
+        """Vehicles on the network never exceed those injected."""
+        sim = MicroSimulator(network, seed=1)
+        result = sim.run(n_vehicles=25, n_steps=30)
+        assert result.counts.sum(axis=1).max() <= 25
+
+    def test_capacity_never_exceeded(self, network):
+        sim = MicroSimulator(network, seed=2)
+        result = sim.run(n_vehicles=200, n_steps=40)
+        capacities = np.maximum(1, [int(s.capacity) for s in network.segments])
+        assert (result.counts <= capacities[np.newaxis, :]).all()
+
+    def test_explicit_trips(self, network):
+        trips = [Trajectory(0, 0, [0, 2]), Trajectory(1, 1, [0])]
+        sim = MicroSimulator(network, seed=0)
+        result = sim.run(n_vehicles=0, n_steps=50, trips=trips)
+        assert result.completed_trips == 2
+
+    def test_snapshot_negative_index(self, network):
+        sim = MicroSimulator(network, seed=0)
+        result = sim.run(n_vehicles=10, n_steps=5)
+        np.testing.assert_array_equal(result.snapshot(-1), result.densities[4])
+
+    def test_invalid_args(self, network):
+        with pytest.raises(ValueError):
+            MicroSimulator(network, dt=0.0)
+        with pytest.raises(ValueError):
+            MicroSimulator(network, seed=0).run(n_vehicles=5, n_steps=0)
+
+    def test_congestion_builds_with_demand(self, network):
+        light = MicroSimulator(network, seed=0).run(n_vehicles=20, n_steps=30)
+        heavy = MicroSimulator(network, seed=0).run(n_vehicles=500, n_steps=30)
+        assert heavy.densities.max() > light.densities.max()
+
+
+class TestFlows:
+    def test_flows_shape(self, network):
+        sim = MicroSimulator(network, seed=0)
+        result = sim.run(n_vehicles=40, n_steps=20)
+        assert result.flows.shape == (20, network.n_segments)
+        assert (result.flows >= 0).all()
+
+    def test_total_flow_accounts_every_advance(self, network):
+        """Each vehicle contributes one flow event per segment it
+        leaves; a completed trip of length L contributes exactly L."""
+        trips = [Trajectory(0, 0, [0, 2]), Trajectory(1, 0, [0])]
+        sim = MicroSimulator(network, seed=0)
+        result = sim.run(n_vehicles=0, n_steps=60, trips=trips)
+        assert result.completed_trips == 2
+        assert result.flows.sum() == 3  # 2 + 1 segment departures
+
+    def test_no_flow_without_vehicles(self, network):
+        sim = MicroSimulator(network, seed=0)
+        result = sim.run(n_vehicles=0, n_steps=5, trips=[])
+        assert result.flows.sum() == 0
+
+    def test_flow_dominated_by_completions(self, network):
+        sim = MicroSimulator(network, seed=1)
+        result = sim.run(n_vehicles=100, n_steps=30)
+        # every completed trip discharged at least its final segment
+        assert result.flows.sum() >= result.completed_trips
+        assert result.flows.sum() > 0

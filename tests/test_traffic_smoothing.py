@@ -1,0 +1,112 @@
+"""Tests for temporal density smoothing."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.traffic.smoothing import (
+    exponential_smoothing,
+    interval_aggregate,
+    moving_average,
+)
+
+
+@pytest.fixture
+def noisy_series(rng):
+    base = np.sin(np.linspace(0, 3, 40))[:, None] + 1.5
+    return base + rng.random((40, 6)) * 0.2
+
+
+class TestMovingAverage:
+    def test_shape_preserved(self, noisy_series):
+        out = moving_average(noisy_series, window=5)
+        assert out.shape == noisy_series.shape
+
+    def test_constant_series_unchanged(self):
+        series = np.full((10, 3), 0.5)
+        np.testing.assert_allclose(moving_average(series, 5), series)
+
+    def test_reduces_variance(self, noisy_series):
+        out = moving_average(noisy_series, window=7)
+        raw_var = np.diff(noisy_series, axis=0).var()
+        smooth_var = np.diff(out, axis=0).var()
+        assert smooth_var < raw_var
+
+    def test_window_one_is_identity(self, noisy_series):
+        np.testing.assert_allclose(
+            moving_average(noisy_series, 1), noisy_series
+        )
+
+    def test_interior_matches_naive(self, noisy_series):
+        out = moving_average(noisy_series, window=5)
+        t = 10
+        np.testing.assert_allclose(
+            out[t], noisy_series[t - 2 : t + 3].mean(axis=0)
+        )
+
+    def test_invalid_inputs(self, noisy_series):
+        with pytest.raises(DataError):
+            moving_average(noisy_series, 0)
+        with pytest.raises(DataError):
+            moving_average(np.ones(5), 3)
+        with pytest.raises(DataError):
+            moving_average(-np.ones((3, 2)), 3)
+
+
+class TestExponentialSmoothing:
+    def test_shape_preserved(self, noisy_series):
+        assert exponential_smoothing(noisy_series).shape == noisy_series.shape
+
+    def test_alpha_one_is_identity(self, noisy_series):
+        np.testing.assert_allclose(
+            exponential_smoothing(noisy_series, alpha=1.0), noisy_series
+        )
+
+    def test_first_row_seeds(self, noisy_series):
+        out = exponential_smoothing(noisy_series, alpha=0.5)
+        np.testing.assert_allclose(out[0], noisy_series[0])
+
+    def test_recursion(self, noisy_series):
+        alpha = 0.4
+        out = exponential_smoothing(noisy_series, alpha=alpha)
+        expected = alpha * noisy_series[1] + (1 - alpha) * out[0]
+        np.testing.assert_allclose(out[1], expected)
+
+    def test_smaller_alpha_smoother(self, noisy_series):
+        rough = exponential_smoothing(noisy_series, alpha=0.9)
+        smooth = exponential_smoothing(noisy_series, alpha=0.1)
+        assert np.diff(smooth, axis=0).var() < np.diff(rough, axis=0).var()
+
+    def test_invalid_alpha(self, noisy_series):
+        with pytest.raises(DataError):
+            exponential_smoothing(noisy_series, alpha=0.0)
+        with pytest.raises(DataError):
+            exponential_smoothing(noisy_series, alpha=1.5)
+
+
+class TestIntervalAggregate:
+    def test_downsamples(self, noisy_series):
+        out = interval_aggregate(noisy_series, 4)
+        assert out.shape == (10, noisy_series.shape[1])
+
+    def test_block_means(self, noisy_series):
+        out = interval_aggregate(noisy_series, 4)
+        np.testing.assert_allclose(out[0], noisy_series[:4].mean(axis=0))
+        np.testing.assert_allclose(out[-1], noisy_series[-4:].mean(axis=0))
+
+    def test_factor_one_identity(self, noisy_series):
+        np.testing.assert_allclose(
+            interval_aggregate(noisy_series, 1), noisy_series
+        )
+
+    def test_total_mass_preserved(self, noisy_series):
+        out = interval_aggregate(noisy_series, 4)
+        assert out.sum() * 4 == pytest.approx(noisy_series.sum())
+
+    def test_indivisible_length_rejected(self, noisy_series):
+        with pytest.raises(DataError):
+            interval_aggregate(noisy_series, 7)
+
+    def test_invalid_factor(self, noisy_series):
+        with pytest.raises(DataError):
+            interval_aggregate(noisy_series, 0)

@@ -1,0 +1,63 @@
+"""Tests for repro.util.timer."""
+
+import time
+
+from repro.util.timer import ModuleTimer, Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.01
+
+    def test_zero_before_use(self):
+        assert Timer().elapsed == 0.0
+
+    def test_elapsed_frozen_after_exit(self):
+        with Timer() as t:
+            pass
+        first = t.elapsed
+        time.sleep(0.005)
+        assert t.elapsed == first
+
+
+class TestModuleTimer:
+    def test_records_named_timing(self):
+        timer = ModuleTimer()
+        with timer.time("module1"):
+            time.sleep(0.01)
+        assert timer.timings["module1"] >= 0.01
+
+    def test_accumulates_same_name(self):
+        timer = ModuleTimer()
+        timer.add("m", 1.0)
+        timer.add("m", 2.5)
+        assert timer.timings["m"] == 3.5
+
+    def test_total(self):
+        timer = ModuleTimer()
+        timer.add("a", 1.0)
+        timer.add("b", 2.0)
+        assert timer.total == 3.0
+
+    def test_timings_is_copy(self):
+        timer = ModuleTimer()
+        timer.add("a", 1.0)
+        snapshot = timer.timings
+        snapshot["a"] = 99.0
+        assert timer.timings["a"] == 1.0
+
+    def test_repr_contains_names(self):
+        timer = ModuleTimer()
+        timer.add("module2", 0.5)
+        assert "module2" in repr(timer)
+
+    def test_exception_inside_block_still_records(self):
+        timer = ModuleTimer()
+        try:
+            with timer.time("failing"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert "failing" in timer.timings

@@ -1,0 +1,82 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_finite_array,
+    check_in_range,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int32(5), "x") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="positive"):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-1, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.0, "x")
+
+    def test_message_contains_name(self):
+        with pytest.raises(ValueError, match="my_param"):
+            check_positive_int(-5, "my_param")
+
+
+class TestCheckInRange:
+    def test_inside(self):
+        assert check_in_range(0.5, "x", 0, 1) == 0.5
+
+    def test_boundaries_inclusive(self):
+        assert check_in_range(0, "x", 0, 1) == 0.0
+        assert check_in_range(1, "x", 0, 1) == 1.0
+
+    def test_outside_raises(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.5, "x", 0, 1)
+
+
+class TestCheckProbability:
+    def test_valid(self):
+        assert check_probability(0.3, "p") == 0.3
+
+    def test_above_one_raises(self):
+        with pytest.raises(ValueError):
+            check_probability(1.01, "p")
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            check_probability(-0.01, "p")
+
+
+class TestCheckFiniteArray:
+    def test_valid(self):
+        arr = check_finite_array([1, 2, 3], "x")
+        assert arr.dtype == float
+
+    def test_nan_raises(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_finite_array([1.0, float("nan")], "x")
+
+    def test_inf_raises(self):
+        with pytest.raises(ValueError):
+            check_finite_array([float("inf")], "x")
+
+    def test_empty_ok(self):
+        assert check_finite_array([], "x").size == 0

@@ -1,0 +1,90 @@
+"""Tests for the SVG chart renderers."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.analysis.mfd import RegionMFD
+from repro.exceptions import DataError
+from repro.viz.charts import render_mfd, render_series
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+@pytest.fixture
+def mfd():
+    rng = np.random.default_rng(0)
+    acc = np.linspace(0, 80, 50)
+    flow = 1.5 * acc - 0.012 * acc**2 + rng.normal(0, 1.5, 50)
+    return RegionMFD(1, acc, np.maximum(flow, 0))
+
+
+class TestRenderMfd:
+    def test_valid_xml(self, mfd):
+        root = ET.fromstring(render_mfd(mfd))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_circle_per_sample(self, mfd):
+        root = ET.fromstring(render_mfd(mfd))
+        circles = root.findall(f"{SVG_NS}circle")
+        assert len(circles) == mfd.accumulation.size
+
+    def test_fit_curve_present(self, mfd):
+        root = ET.fromstring(render_mfd(mfd))
+        assert root.findall(f"{SVG_NS}polyline")
+
+    def test_default_title(self, mfd):
+        assert "MFD of region 1" in render_mfd(mfd)
+
+    def test_custom_title_escaped(self, mfd):
+        svg = render_mfd(mfd, title="a < b")
+        assert "a &lt; b" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            render_mfd(RegionMFD(0, np.array([]), np.array([])))
+
+    def test_constant_accumulation_no_fit(self):
+        mfd = RegionMFD(0, np.full(5, 3.0), np.arange(5.0))
+        root = ET.fromstring(render_mfd(mfd))
+        assert not root.findall(f"{SVG_NS}polyline")  # nothing to fit
+
+
+class TestRenderSeries:
+    def test_valid_xml(self):
+        svg = render_series({"region 0": [1, 2, 3], "region 1": [3, 2, 1]})
+        root = ET.fromstring(svg)
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) == 2
+
+    def test_legend_labels(self):
+        svg = render_series({"core": [0.1, 0.2], "ring": [0.2, 0.1]})
+        assert "core" in svg and "ring" in svg
+
+    def test_coordinates_inside_canvas(self):
+        svg = render_series({"a": np.linspace(0, 10, 30)}, width=300, height=200)
+        root = ET.fromstring(svg)
+        for line in root.findall(f"{SVG_NS}polyline"):
+            for pair in line.get("points").split():
+                x, y = map(float, pair.split(","))
+                assert 0 <= x <= 300 and 0 <= y <= 200
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            render_series({})
+        with pytest.raises(DataError):
+            render_series({"a": [1, 2], "b": [1]})
+        with pytest.raises(DataError):
+            render_series({"a": []})
+
+    def test_from_real_simulation(self, small_grid):
+        from repro.analysis.mfd import region_mfd
+        from repro.traffic.simulator import MicroSimulator
+
+        result = MicroSimulator(small_grid, seed=0).run(
+            n_vehicles=150, n_steps=30
+        )
+        labels = np.zeros(small_grid.n_segments, dtype=int)
+        svg = render_mfd(region_mfd(result, labels, 0))
+        ET.fromstring(svg)

@@ -1,0 +1,124 @@
+"""Tests for the SVG renderer."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.network.generators import grid_network
+from repro.viz.svg import (
+    PALETTE,
+    density_color,
+    render_network,
+    render_partitions,
+    save_svg,
+)
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+@pytest.fixture(scope="module")
+def network():
+    net = grid_network(3, 3, spacing=100.0, two_way=True)
+    net.set_densities(np.linspace(0.0, 0.15, net.n_segments))
+    return net
+
+
+class TestDensityColor:
+    def test_zero_is_green(self):
+        assert density_color(0.0, 1.0) == "#2ca02c"
+
+    def test_max_is_red(self):
+        assert density_color(1.0, 1.0) == "#d62728"
+
+    def test_midpoint_is_yellow(self):
+        assert density_color(0.5, 1.0) == "#ffdd33"
+
+    def test_clamps_out_of_range(self):
+        assert density_color(5.0, 1.0) == density_color(1.0, 1.0)
+        assert density_color(-1.0, 1.0) == density_color(0.0, 1.0)
+
+    def test_zero_vmax_safe(self):
+        assert density_color(0.5, 0.0).startswith("#")
+
+
+class TestRenderNetwork:
+    def test_valid_xml(self, network):
+        svg = render_network(network)
+        root = ET.fromstring(svg)
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_line_per_segment(self, network):
+        svg = render_network(network)
+        root = ET.fromstring(svg)
+        lines = root.findall(f"{SVG_NS}line")
+        assert len(lines) == network.n_segments
+
+    def test_custom_values(self, network):
+        values = np.zeros(network.n_segments)
+        svg = render_network(network, values=values)
+        # all segments free-flow green
+        assert svg.count("#2ca02c") >= network.n_segments
+
+    def test_wrong_values_shape(self, network):
+        with pytest.raises(DataError):
+            render_network(network, values=[0.1])
+
+    def test_title_escaped(self, network):
+        svg = render_network(network, title="<rush & hour>")
+        assert "&lt;rush &amp; hour&gt;" in svg
+
+    def test_coordinates_inside_canvas(self, network):
+        svg = render_network(network, width=400, height=300)
+        root = ET.fromstring(svg)
+        for line in root.findall(f"{SVG_NS}line"):
+            for attr in ("x1", "x2"):
+                assert 0 <= float(line.get(attr)) <= 400
+            for attr in ("y1", "y2"):
+                assert 0 <= float(line.get(attr)) <= 300
+
+
+class TestRenderPartitions:
+    def test_colors_match_labels(self, network):
+        labels = np.arange(network.n_segments) % 3
+        svg = render_partitions(network, labels)
+        for i in range(3):
+            assert PALETTE[i] in svg
+
+    def test_legend_entries(self, network):
+        labels = np.arange(network.n_segments) % 4
+        svg = render_partitions(network, labels)
+        assert "partition 0" in svg and "partition 3" in svg
+
+    def test_legend_disabled(self, network):
+        labels = np.zeros(network.n_segments, dtype=int)
+        svg = render_partitions(network, labels, legend=False)
+        assert "partition 0" not in svg
+
+    def test_palette_wraps(self, network):
+        labels = np.arange(network.n_segments) % network.n_segments
+        svg = render_partitions(network, labels)  # > len(PALETTE) partitions
+        ET.fromstring(svg)  # still valid XML
+
+    def test_wrong_labels_shape(self, network):
+        with pytest.raises(DataError):
+            render_partitions(network, [0, 1])
+
+
+class TestSaveSvg:
+    def test_round_trip(self, network, tmp_path):
+        svg = render_network(network)
+        path = save_svg(svg, tmp_path / "net.svg")
+        assert path.exists()
+        assert path.read_text(encoding="utf-8") == svg
+
+    def test_renders_real_partitioning(self, network, tmp_path):
+        from repro.pipeline.schemes import run_scheme
+        from repro.network.dual import build_road_graph
+
+        graph = build_road_graph(network)
+        result = run_scheme("ASG", graph, 3, seed=0)
+        svg = render_partitions(network, result.labels)
+        path = save_svg(svg, tmp_path / "partitions.svg")
+        assert path.stat().st_size > 1000
