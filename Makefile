@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench bench-full examples docs-check all
+.PHONY: install test bench bench-full bench-hotpaths examples docs-check all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -13,6 +13,9 @@ bench:
 
 bench-full:
 	REPRO_FULL_SCALE=1 pytest benchmarks/ --benchmark-only -s
+
+bench-hotpaths:
+	pytest benchmarks/test_bench_hotpaths.py -s
 
 examples:
 	@for script in examples/*.py; do \

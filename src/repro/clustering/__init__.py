@@ -13,13 +13,21 @@ clustering gain and clustering balance (Jung et al. 2003) and the
 paper's Moderated Clustering Gain (MCG, Equation 1).
 """
 
-from repro.clustering.kmeans import KMeansResult, kmeans, kmeans_1d
+from repro.clustering.kmeans import (
+    KMeansResult,
+    assign_to_centers,
+    kmeans,
+    kmeans_1d,
+    kmeans_1d_reference,
+    pairwise_sq_dists_reference,
+)
 from repro.clustering.optimal1d import kmeans_1d_optimal
 from repro.clustering.optimality import (
     KappaScan,
     clustering_balance,
     clustering_gain,
     moderated_clustering_gain,
+    moderated_clustering_gain_reference,
     scan_kappa,
     shortlist_kappa,
 )
@@ -28,10 +36,14 @@ __all__ = [
     "KMeansResult",
     "kmeans",
     "kmeans_1d",
+    "kmeans_1d_reference",
     "kmeans_1d_optimal",
+    "assign_to_centers",
+    "pairwise_sq_dists_reference",
     "clustering_gain",
     "clustering_balance",
     "moderated_clustering_gain",
+    "moderated_clustering_gain_reference",
     "KappaScan",
     "scan_kappa",
     "shortlist_kappa",

@@ -8,12 +8,30 @@ Two variants:
   removing the randomness of standard seeding (Section 4.1);
 * :func:`kmeans` — standard Lloyd's algorithm with k-means++ seeding
   for multi-dimensional data (row-normalised eigenvectors).
+
+Both hot paths are engineered for city-scale inputs:
+
+* ``kmeans_1d`` exploits the one-dimensional structure end to end.
+  Cluster boundaries are thresholds between sorted consecutive means,
+  so once the data is sorted each Lloyd iteration only needs the
+  kappa-1 boundary positions (``searchsorted`` of the bounds into the
+  sorted values) and prefix-sums to recompute every cluster mean —
+  O(kappa log n) per iteration instead of O(n log kappa). The sort
+  itself can be shared across many calls on the same data (the
+  Algorithm-1 kappa scan) via the ``presorted`` argument.
+  :func:`kmeans_1d_reference` keeps the original O(n)-per-iteration
+  formulation for equivalence testing.
+* ``kmeans`` avoids materialising the O(n * kappa * d) broadcast
+  distance tensor: assignment uses the expansion
+  ``||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2`` evaluated in row chunks,
+  turning the inner loop into BLAS matrix products with bounded
+  memory.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -60,6 +78,7 @@ def kmeans_1d(
     kappa: int,
     max_iter: int = 100,
     tol: float = 1e-9,
+    presorted: Optional[np.ndarray] = None,
 ) -> KMeansResult:
     """1-D k-means with deterministic sorted equal-interval seeding.
 
@@ -72,13 +91,95 @@ def kmeans_1d(
     max_iter, tol:
         Lloyd iteration cutoff and convergence tolerance on the total
         movement of cluster means.
+    presorted:
+        The same values already sorted ascending. Callers fitting many
+        kappa against one density vector (the Algorithm-1 scan) pass
+        ``np.sort(values)`` once to share the sort across all fits;
+        when omitted the sort happens internally.
 
     Notes
     -----
-    Because the data is one-dimensional, optimal cluster boundaries are
-    thresholds between sorted consecutive means, so assignment is done
-    with :func:`numpy.searchsorted` in O(n log kappa) per iteration.
-    Empty clusters are re-seeded with the value farthest from its mean.
+    Because the data is one-dimensional, optimal cluster boundaries
+    are thresholds between sorted consecutive means. Each Lloyd
+    iteration therefore locates the kappa-1 boundaries in the sorted
+    values with :func:`numpy.searchsorted` and recomputes all cluster
+    means from prefix sums — O(kappa log n) per iteration. Empty
+    clusters are re-seeded with the value farthest from its mean.
+    Labels are returned in the order of ``values``.
+    """
+    data = np.asarray(values, dtype=float).ravel()
+    n = data.size
+    _validate_kappa(n, kappa)
+    if not np.isfinite(data).all():
+        raise ClusteringError("values must be finite")
+
+    if presorted is None:
+        sorted_vals = np.sort(data, kind="stable")
+    else:
+        sorted_vals = np.asarray(presorted, dtype=float).ravel()
+        if sorted_vals.shape != data.shape:
+            raise ClusteringError(
+                f"presorted must have shape {data.shape}, got {sorted_vals.shape}"
+            )
+
+    # initialise means at equal intervals of the sorted values:
+    # mean_j = sorted[i], i = floor(n/kappa * j) centred in each chunk
+    positions = (np.arange(kappa) + 0.5) * n / kappa
+    centers = sorted_vals[np.clip(positions.astype(int), 0, n - 1)].astype(float)
+
+    prefix = np.concatenate(([0.0], np.cumsum(sorted_vals)))
+    cluster_ids = np.arange(kappa)
+    edges = np.empty(kappa + 1, dtype=np.int64)
+    edges[0], edges[kappa] = 0, n
+
+    n_iter = 0
+    for n_iter in range(1, max_iter + 1):
+        centers = np.sort(centers)
+        # boundaries halfway between consecutive means; cluster q owns
+        # the sorted slice edges[q]:edges[q+1] (value x belongs to q
+        # iff bounds[q-1] < x <= bounds[q], matching searchsorted-left
+        # assignment of x against the bounds)
+        bounds = (centers[:-1] + centers[1:]) / 2.0
+        edges[1:kappa] = np.searchsorted(sorted_vals, bounds, side="right")
+        counts = np.diff(edges)
+        sums = prefix[edges[1:]] - prefix[edges[:-1]]
+
+        new_centers = centers.copy()
+        nonempty = counts > 0
+        new_centers[nonempty] = sums[nonempty] / counts[nonempty]
+
+        # re-seed empty clusters with the worst-represented value
+        if not nonempty.all():
+            labels_sorted = np.repeat(cluster_ids, counts)
+            residuals = np.abs(sorted_vals - new_centers[labels_sorted])
+            for q in np.flatnonzero(~nonempty):
+                far = int(np.argmax(residuals))
+                new_centers[q] = sorted_vals[far]
+                residuals[far] = -1.0
+
+        shift = float(np.abs(new_centers - centers).sum())
+        centers = new_centers
+        if shift <= tol:
+            break
+
+    centers = np.sort(centers)
+    bounds = (centers[:-1] + centers[1:]) / 2.0
+    labels = np.searchsorted(bounds, data, side="left")
+    inertia = float(((data - centers[labels]) ** 2).sum())
+    return KMeansResult(labels=labels, centers=centers, inertia=inertia, n_iter=n_iter)
+
+
+def kmeans_1d_reference(
+    values: Sequence[float],
+    kappa: int,
+    max_iter: int = 100,
+    tol: float = 1e-9,
+) -> KMeansResult:
+    """Reference 1-D k-means (full O(n) assignment per iteration).
+
+    The original formulation kept for equivalence tests: assignment
+    runs ``searchsorted`` over every value and means come from
+    ``bincount``. :func:`kmeans_1d` is the production path.
     """
     data = np.asarray(values, dtype=float).ravel()
     n = data.size
@@ -89,8 +190,6 @@ def kmeans_1d(
     order = np.argsort(data, kind="stable")
     sorted_vals = data[order]
 
-    # initialise means at equal intervals of the sorted values:
-    # mean_j = sorted[i], i = floor(n/kappa * j) centred in each chunk
     positions = (np.arange(kappa) + 0.5) * n / kappa
     centers = sorted_vals[np.clip(positions.astype(int), 0, n - 1)].astype(float)
 
@@ -98,7 +197,6 @@ def kmeans_1d(
     n_iter = 0
     for n_iter in range(1, max_iter + 1):
         centers = np.sort(centers)
-        # boundaries halfway between consecutive means
         bounds = (centers[:-1] + centers[1:]) / 2.0
         labels = np.searchsorted(bounds, data, side="left")
 
@@ -108,7 +206,6 @@ def kmeans_1d(
         nonempty = counts > 0
         new_centers[nonempty] = sums[nonempty] / counts[nonempty]
 
-        # re-seed empty clusters with the worst-represented value
         if not nonempty.all():
             residuals = np.abs(data - new_centers[labels])
             for q in np.flatnonzero(~nonempty):
@@ -149,6 +246,68 @@ def _kmeanspp_init(
     return centers
 
 
+#: Upper bound on the number of distance-matrix cells held at once by
+#: the chunked assignment (chunk_rows * kappa).
+_ASSIGN_CHUNK_CELLS = 1 << 20
+
+
+def pairwise_sq_dists_reference(data: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Full (n, kappa) squared-distance matrix via broadcasting.
+
+    The original O(n * kappa * d)-memory formulation, kept as the
+    equivalence-test reference for :func:`assign_to_centers`.
+    """
+    return ((data[:, np.newaxis, :] - centers[np.newaxis, :, :]) ** 2).sum(axis=2)
+
+
+def assign_to_centers(
+    data: np.ndarray,
+    centers: np.ndarray,
+    sq_norms: Optional[np.ndarray] = None,
+    chunk_cells: int = _ASSIGN_CHUNK_CELLS,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Nearest-center assignment via chunked ``||x||^2 - 2 x.c + ||c||^2``.
+
+    Parameters
+    ----------
+    data:
+        (n, d) items.
+    centers:
+        (kappa, d) cluster centers.
+    sq_norms:
+        Optional precomputed ``(data ** 2).sum(axis=1)``; pass it once
+        per Lloyd run since the data never changes between iterations.
+    chunk_cells:
+        Bound on rows-per-chunk * kappa, capping peak memory at one
+        chunk of the distance matrix regardless of n.
+
+    Returns
+    -------
+    (labels, min_sq_dists):
+        Per-item nearest center index and the squared distance to it
+        (clamped at 0 against floating-point cancellation).
+    """
+    n = data.shape[0]
+    kappa = centers.shape[0]
+    if sq_norms is None:
+        sq_norms = (data**2).sum(axis=1)
+    center_norms = (centers**2).sum(axis=1)
+    labels = np.empty(n, dtype=np.int64)
+    min_d2 = np.empty(n, dtype=float)
+    chunk = max(1, min(n, chunk_cells // max(1, kappa)))
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        d2 = data[start:stop] @ centers.T
+        d2 *= -2.0
+        d2 += sq_norms[start:stop, np.newaxis]
+        d2 += center_norms[np.newaxis, :]
+        np.maximum(d2, 0.0, out=d2)
+        idx = d2.argmin(axis=1)
+        labels[start:stop] = idx
+        min_d2[start:stop] = d2[np.arange(stop - start), idx]
+    return labels, min_d2
+
+
 def kmeans(
     data,
     kappa: int,
@@ -183,15 +342,16 @@ def kmeans(
         raise ClusteringError(f"n_init must be positive, got {n_init}")
     rng = ensure_rng(seed)
 
+    sq_norms = (arr**2).sum(axis=1)
+
     best: Optional[KMeansResult] = None
     for __ in range(n_init):
         centers = _kmeanspp_init(arr, kappa, rng)
         labels = np.zeros(n, dtype=int)
         n_iter = 0
         for n_iter in range(1, max_iter + 1):
-            # assignment step
-            d2 = ((arr[:, np.newaxis, :] - centers[np.newaxis, :, :]) ** 2).sum(axis=2)
-            labels = d2.argmin(axis=1)
+            # assignment step (chunked expansion, no n*kappa*d tensor)
+            labels, __dists = assign_to_centers(arr, centers, sq_norms=sq_norms)
 
             # update step
             new_centers = centers.copy()
@@ -212,9 +372,8 @@ def kmeans(
             if shift <= tol:
                 break
 
-        d2 = ((arr[:, np.newaxis, :] - centers[np.newaxis, :, :]) ** 2).sum(axis=2)
-        labels = d2.argmin(axis=1)
-        inertia = float(d2[np.arange(n), labels].sum())
+        labels, min_d2 = assign_to_centers(arr, centers, sq_norms=sq_norms)
+        inertia = float(min_d2.sum())
         candidate = KMeansResult(
             labels=labels, centers=centers, inertia=inertia, n_iter=n_iter
         )

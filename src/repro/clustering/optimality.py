@@ -33,6 +33,7 @@ returns every kappa whose MCG clears the optimality threshold
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -40,7 +41,9 @@ import numpy as np
 
 from repro.clustering.kmeans import KMeansResult, kmeans_1d
 from repro.exceptions import ClusteringError
+from repro.util.parallel import map_parallel
 from repro.util.rng import RngLike, ensure_rng
+from repro.util.timer import ModuleTimer
 
 
 def _cluster_stats(
@@ -116,6 +119,30 @@ def moderated_clustering_gain(data, labels) -> float:
     sizes, means, intra, mu0 = _cluster_stats(arr, lab, kappa)
     sep = ((means - mu0) ** 2).sum(axis=1)
 
+    active = (sizes > 0) & (sep > 0)
+    theta1 = (sizes - 1.0) * sep
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(active, intra / (sizes * sep), 0.0)
+    theta2 = np.clip(1.0 - np.log2(1.0 + ratio), 0.0, 1.0)
+    terms = theta1[active] * theta2[active]
+    # accumulate sequentially in cluster order so the result stays
+    # bit-identical to the reference loop (np.sum reorders additions)
+    theta = 0.0
+    for term in terms:
+        theta += float(term)
+    return float(theta)
+
+
+def moderated_clustering_gain_reference(data, labels) -> float:
+    """Reference per-cluster-loop MCG, kept for equivalence tests.
+
+    :func:`moderated_clustering_gain` vectorises the same computation
+    and must return bit-identical values; tests assert exactly that.
+    """
+    arr, lab, kappa = _prepare(data, labels)
+    sizes, means, intra, mu0 = _cluster_stats(arr, lab, kappa)
+    sep = ((means - mu0) ** 2).sum(axis=1)
+
     theta = 0.0
     for q in range(kappa):
         if sizes[q] <= 0 or sep[q] <= 0:
@@ -179,14 +206,33 @@ class KappaScan:
         return self.shortlist(fraction * self.best_mcg)
 
 
+def _fit_and_score(
+    scan_data: np.ndarray, sorted_data: np.ndarray, kappa: int
+) -> Tuple[KMeansResult, float]:
+    """One kappa of the scan: fit (sharing the sort) and score MCG.
+
+    Module-level so it stays picklable for process-based
+    :func:`repro.util.parallel.map_parallel` execution.
+    """
+    result = kmeans_1d(scan_data, kappa, presorted=sorted_data)
+    return result, moderated_clustering_gain(scan_data, result.labels)
+
+
 def scan_kappa(
     values: Sequence[float],
     kappa_max: Optional[int] = None,
     kappa_min: int = 2,
     sample_size: Optional[int] = None,
     seed: RngLike = None,
+    workers: Optional[int] = None,
+    timer: Optional[ModuleTimer] = None,
 ) -> KappaScan:
     """Run 1-D k-means for each kappa and record the MCG curve.
+
+    The scan sorts the (sampled) density vector once and shares it
+    across every ``kmeans_1d`` fit; the per-kappa fits are independent
+    and run through :func:`repro.util.parallel.map_parallel`, so the
+    curve is identical for every worker count.
 
     Parameters
     ----------
@@ -203,6 +249,12 @@ def scan_kappa(
         large datasets.
     seed:
         Seed for the sampling step (k-means itself is deterministic).
+    workers:
+        Worker count for the per-kappa fits; ``None`` defers to the
+        ``REPRO_NUM_WORKERS`` environment variable (serial when unset).
+    timer:
+        Optional :class:`ModuleTimer` receiving the ``module2.scan``
+        timing.
     """
     data = np.asarray(values, dtype=float).ravel()
     n = data.size
@@ -228,12 +280,18 @@ def scan_kappa(
         scan_data = data[idx]
         sampled = True
 
+    own_timer = timer if timer is not None else ModuleTimer()
     scan = KappaScan(sampled=sampled)
-    for kappa in range(kappa_min, kappa_max + 1):
-        result = kmeans_1d(scan_data, kappa)
-        scan.kappas.append(kappa)
-        scan.mcg.append(moderated_clustering_gain(scan_data, result.labels))
-        scan.results.append(result)
+    with own_timer.time("module2.scan"):
+        sorted_data = np.sort(scan_data, kind="stable")
+        kappas = list(range(kappa_min, kappa_max + 1))
+        fit = functools.partial(_fit_and_score, scan_data, sorted_data)
+        for kappa, (result, mcg) in zip(
+            kappas, map_parallel(fit, kappas, workers=workers)
+        ):
+            scan.kappas.append(kappa)
+            scan.mcg.append(mcg)
+            scan.results.append(result)
     return scan
 
 
@@ -244,15 +302,23 @@ def shortlist_kappa(
     kappa_max: Optional[int] = None,
     sample_size: Optional[int] = None,
     seed: RngLike = None,
+    workers: Optional[int] = None,
+    timer: Optional[ModuleTimer] = None,
 ) -> Tuple[List[int], KappaScan]:
     """Scan kappa and shortlist values clearing the MCG threshold.
 
     When ``epsilon_theta`` (the paper's absolute threshold) is not
     given, the scale-free ``epsilon_fraction`` of the maximum MCG is
     used instead. Always returns at least the best kappa.
+    ``workers``/``timer`` are forwarded to :func:`scan_kappa`.
     """
     scan = scan_kappa(
-        values, kappa_max=kappa_max, sample_size=sample_size, seed=seed
+        values,
+        kappa_max=kappa_max,
+        sample_size=sample_size,
+        seed=seed,
+        workers=workers,
+        timer=timer,
     )
     if epsilon_theta is not None:
         shortlisted = scan.shortlist(epsilon_theta)

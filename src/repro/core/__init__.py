@@ -13,10 +13,12 @@
 """
 
 from repro.core.alpha_cut import (
+    PartitionWeightSummary,
     alpha_cut_value,
     alpha_vector,
     cut_value,
     association_value,
+    partition_weight_summary,
 )
 from repro.core.boundary_refine import boundary_refine
 from repro.core.model_selection import (
@@ -38,6 +40,8 @@ __all__ = [
     "alpha_vector",
     "cut_value",
     "association_value",
+    "partition_weight_summary",
+    "PartitionWeightSummary",
     "spectral_embedding",
     "spectral_partition",
     "partition_connectivity_matrix",

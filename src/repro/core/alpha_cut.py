@@ -19,7 +19,9 @@ simplifies to ``sum_i c_i^T M c_i / (c_i^T c_i)`` with::
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+import weakref
+from collections import OrderedDict
+from typing import NamedTuple, Optional, Sequence, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -56,10 +58,69 @@ def _partition_weights(adj: sp.csr_matrix, lab: np.ndarray, k: int):
     return internal, touching, sizes
 
 
+class PartitionWeightSummary(NamedTuple):
+    """Per-partition weight summary — one pass over the adjacency.
+
+    Unpacks as ``(internal, touching, sizes)``:
+
+    * ``internal[i]`` — W(P_i, P_i), ordered pairs (each internal
+      link counted twice);
+    * ``touching[i]`` — W(P_i, V), the sum of degrees in P_i
+      (``touching - internal`` is the per-partition cut);
+    * ``sizes[i]`` — |P_i|.
+    """
+
+    internal: np.ndarray
+    touching: np.ndarray
+    sizes: np.ndarray
+
+
+# Tiny memo for repeated scoring of the same (adjacency, labels) pair:
+# cut_value / association_value / alpha_cut_value / alpha_vector all
+# consume the same one-pass summary, and refinement loops re-score one
+# labelling per partition. Keyed by object identity (validated through
+# a weakref, so a recycled id can never alias) + the exact label bytes.
+# Matrices must not be mutated in place between scoring calls.
+_SUMMARY_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
+_SUMMARY_CACHE_SIZE = 16
+
+
+def partition_weight_summary(adjacency, labels) -> PartitionWeightSummary:
+    """Compute (or fetch cached) per-partition weights for a labelling.
+
+    The single entry point behind every alpha-Cut scoring helper: the
+    full `_prepare` + weight pass runs once per distinct
+    ``(adjacency, labels)`` pair and repeated queries (per-partition
+    cut values, association values, the alpha vector, the objective
+    itself) are served from a small LRU memo.
+    """
+    adj, lab, __, k = _prepare(adjacency, labels)
+
+    key = (id(adjacency), lab.tobytes())
+    cached = _SUMMARY_CACHE.get(key)
+    if cached is not None:
+        ref, summary = cached
+        if ref() is adjacency:
+            _SUMMARY_CACHE.move_to_end(key)
+            return summary
+        del _SUMMARY_CACHE[key]
+
+    internal, touching, sizes = _partition_weights(adj, lab, k)
+    summary = PartitionWeightSummary(internal, touching, sizes)
+    try:
+        ref = weakref.ref(adjacency)
+    except TypeError:
+        return summary  # unreferenceable inputs (lists, ...) skip the memo
+    _SUMMARY_CACHE[key] = (ref, summary)
+    while len(_SUMMARY_CACHE) > _SUMMARY_CACHE_SIZE:
+        _SUMMARY_CACHE.popitem(last=False)
+    return summary
+
+
 def alpha_vector(adjacency, labels) -> np.ndarray:
     """The paper's alpha_i = W(P_i, V) / W(V, V) per partition."""
-    adj, lab, __, k = _prepare(adjacency, labels)
-    __, touching, __ = _partition_weights(adj, lab, k)
+    adj, __, __, k = _prepare(adjacency, labels)
+    __, touching, __ = partition_weight_summary(adjacency, labels)
     total = float(adj.sum())
     if total == 0:
         return np.zeros(k)
@@ -68,19 +129,19 @@ def alpha_vector(adjacency, labels) -> np.ndarray:
 
 def cut_value(adjacency, labels, partition: int) -> float:
     """W(P_i, ~P_i): total weight of superlinks leaving partition ``partition``."""
-    adj, lab, __, k = _prepare(adjacency, labels)
+    internal, touching, sizes = partition_weight_summary(adjacency, labels)
+    k = sizes.size
     if not 0 <= partition < k:
         raise PartitioningError(f"partition {partition} out of range for k={k}")
-    internal, touching, __ = _partition_weights(adj, lab, k)
     return float(touching[partition] - internal[partition])
 
 
 def association_value(adjacency, labels, partition: int) -> float:
     """W(P_i, P_i): internal weight of ``partition`` (ordered pairs)."""
-    adj, lab, __, k = _prepare(adjacency, labels)
+    internal, __, sizes = partition_weight_summary(adjacency, labels)
+    k = sizes.size
     if not 0 <= partition < k:
         raise PartitioningError(f"partition {partition} out of range for k={k}")
-    internal, __, __ = _partition_weights(adj, lab, k)
     return float(internal[partition])
 
 
@@ -106,10 +167,10 @@ def alpha_cut_value(
     -----
     Empty partitions are forbidden (division by |P_i|).
     """
-    adj, lab, __, k = _prepare(adjacency, labels)
+    adj, __, __, k = _prepare(adjacency, labels)
     if k == 0:
         raise PartitioningError("labels define no partitions")
-    internal, touching, sizes = _partition_weights(adj, lab, k)
+    internal, touching, sizes = partition_weight_summary(adjacency, labels)
     if (sizes == 0).any():
         raise PartitioningError("labels contain empty partitions")
     cut = touching - internal

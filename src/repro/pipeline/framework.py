@@ -48,6 +48,11 @@ class SpatialPartitioningFramework:
         :class:`repro.supergraph.SupergraphBuilder`).
     seed:
         Reproducibility seed.
+    workers:
+        Worker count for the parallel supergraph-mining loops;
+        ``None`` defers to the ``REPRO_NUM_WORKERS`` environment
+        variable (serial when unset). Results are identical for
+        every worker count.
 
     Examples
     --------
@@ -70,6 +75,7 @@ class SpatialPartitioningFramework:
         kappa_max: Optional[int] = None,
         sample_size: Optional[int] = None,
         seed: RngLike = None,
+        workers: Optional[int] = None,
     ) -> None:
         if k < 1:
             raise PartitioningError(f"k must be positive, got {k}")
@@ -86,6 +92,7 @@ class SpatialPartitioningFramework:
         self._kappa_max = kappa_max
         self._sample_size = sample_size
         self._seed = seed
+        self._workers = workers
         self.last_road_graph: Optional[Graph] = None
 
     def partition(
@@ -106,7 +113,7 @@ class SpatialPartitioningFramework:
         """
         timer = ModuleTimer()
         with timer.time("module1"):
-            road_graph = build_road_graph(network)
+            road_graph = build_road_graph(network, timer=timer)
             if densities is not None:
                 road_graph = road_graph.with_features(densities)
         self.last_road_graph = road_graph
@@ -129,6 +136,7 @@ class SpatialPartitioningFramework:
             sample_size=self._sample_size,
             seed=self._seed,
             timer=timer,
+            workers=self._workers,
         )
         result.timings = timer.timings
         return result

@@ -47,6 +47,7 @@ def run_scheme(
     kmeans_method: str = "lloyd",
     seed: RngLike = None,
     timer: Optional[ModuleTimer] = None,
+    workers: Optional[int] = None,
 ) -> PartitioningResult:
     """Run one evaluation scheme on a road graph.
 
@@ -71,7 +72,11 @@ def run_scheme(
     timer:
         Optional :class:`repro.util.timer.ModuleTimer` receiving
         ``module2`` (supergraph mining) and ``module3`` (partitioning)
-        timings.
+        timings, plus the fine-grained ``module2.*`` breakdown.
+    workers:
+        Worker count for the parallel supergraph-mining loops;
+        ``None`` defers to the ``REPRO_NUM_WORKERS`` environment
+        variable (serial when unset).
 
     Returns
     -------
@@ -107,6 +112,8 @@ def run_scheme(
                 superlink_mode=superlink_mode,
                 kmeans_method=kmeans_method,
                 seed=rng,
+                workers=workers,
+                timer=own_timer,
             )
             supergraph = builder.build(road_graph)
             n_supernodes = supergraph.n_supernodes

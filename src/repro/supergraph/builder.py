@@ -15,12 +15,13 @@ Steps (paper Section 4):
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.clustering.kmeans import kmeans_1d
+from repro.clustering.kmeans import KMeansResult, kmeans_1d
 from repro.clustering.optimality import KappaScan, shortlist_kappa
 from repro.exceptions import GraphError
 from repro.graph.adjacency import Graph
@@ -29,7 +30,31 @@ from repro.supergraph.model import Supergraph
 from repro.supergraph.stability import stability_check
 from repro.supergraph.superlink import superlink_weights
 from repro.supergraph.supernode import create_supernodes
+from repro.util.parallel import map_parallel
 from repro.util.rng import RngLike
+from repro.util.timer import ModuleTimer
+
+
+def _fit_and_count(
+    cluster_1d: Callable[..., KMeansResult],
+    features: np.ndarray,
+    sorted_features: Optional[np.ndarray],
+    adjacency,
+    kappa: int,
+) -> Tuple[KMeansResult, int]:
+    """One shortlist candidate: full-data fit + supernode count.
+
+    Module-level so it stays picklable for process-based
+    :func:`repro.util.parallel.map_parallel` execution. The shared
+    ``sorted_features`` fast path only applies to the seeded-Lloyd
+    ``kmeans_1d`` (the exact-DP variant sorts internally).
+    """
+    if sorted_features is not None:
+        result = cluster_1d(features, kappa, presorted=sorted_features)
+    else:
+        result = cluster_1d(features, kappa)
+    count = count_constrained_components(adjacency, result.labels)
+    return result, count
 
 
 @dataclass
@@ -89,6 +114,15 @@ class SupergraphBuilder:
         larger kappa).
     seed:
         Seed for the sampling step.
+    workers:
+        Worker count for the per-kappa scan fits and the shortlist
+        refits (both embarrassingly parallel); ``None`` defers to the
+        ``REPRO_NUM_WORKERS`` environment variable (serial when
+        unset). The build result is identical for every worker count.
+    timer:
+        Optional :class:`ModuleTimer` receiving fine-grained
+        ``module2.*`` timings (scan, shortlist fits, supernodes,
+        superlinks).
     """
 
     def __init__(
@@ -101,6 +135,8 @@ class SupergraphBuilder:
         superlink_mode: str = "supernode",
         kmeans_method: str = "lloyd",
         seed: RngLike = None,
+        workers: Optional[int] = None,
+        timer: Optional[ModuleTimer] = None,
     ) -> None:
         if not 0.0 <= epsilon_eta <= 1.0:
             raise GraphError(f"epsilon_eta must be in [0, 1], got {epsilon_eta}")
@@ -116,6 +152,8 @@ class SupergraphBuilder:
         self._superlink_mode = superlink_mode
         self._kmeans_method = kmeans_method
         self._seed = seed
+        self._workers = workers
+        self._timer = timer
         self.report: Optional[SupergraphBuildReport] = None
 
     def build(self, road_graph: Graph) -> Supergraph:
@@ -125,6 +163,7 @@ class SupergraphBuilder:
             raise GraphError("supergraph mining needs at least 3 road-graph nodes")
         features = np.asarray(road_graph.features, dtype=float)
         adjacency = road_graph.adjacency
+        timer = self._timer if self._timer is not None else ModuleTimer()
 
         # Step 1: shortlist kappa by MCG
         shortlisted, scan = shortlist_kappa(
@@ -134,21 +173,31 @@ class SupergraphBuilder:
             kappa_max=self._kappa_max,
             sample_size=self._sample_size,
             seed=self._seed,
+            workers=self._workers,
+            timer=timer,
         )
 
         if self._kmeans_method == "optimal":
             from repro.clustering.optimal1d import kmeans_1d_optimal as cluster_1d
+
+            sorted_features = None
         else:
             cluster_1d = kmeans_1d
+            sorted_features = np.sort(features, kind="stable")
 
-        # Step 2: pick the configuration with the fewest supernodes
+        # Step 2: pick the configuration with the fewest supernodes.
+        # The shortlist fits are independent; map_parallel keeps their
+        # order, so the strict-< selection below is deterministic.
+        with timer.time("module2.shortlist_fits"):
+            fit = functools.partial(
+                _fit_and_count, cluster_1d, features, sorted_features, adjacency
+            )
+            outcomes = map_parallel(fit, shortlisted, workers=self._workers)
         best_kappa = -1
         best_count = None
         best_result = None
         component_counts: List[int] = []
-        for kappa in shortlisted:
-            result = cluster_1d(features, kappa)
-            count = count_constrained_components(adjacency, result.labels)
+        for kappa, (result, count) in zip(shortlisted, outcomes):
             component_counts.append(count)
             if best_count is None or count < best_count:
                 best_count = count
@@ -157,28 +206,31 @@ class SupergraphBuilder:
         assert best_result is not None
 
         # Step 3: supernodes with cluster means as features
-        supernodes = create_supernodes(
-            adjacency, best_result.labels, cluster_means=best_result.centers
-        )
+        with timer.time("module2.supernodes"):
+            supernodes = create_supernodes(
+                adjacency, best_result.labels, cluster_means=best_result.centers
+            )
         n_before = len(supernodes)
 
         # Step 4: optional stability check
         if self._epsilon_eta > 0.0:
-            supernodes = stability_check(
-                supernodes,
-                features,
-                self._epsilon_eta,
-                adjacency=adjacency,
-                reconnect=True,
-            )
+            with timer.time("module2.stability"):
+                supernodes = stability_check(
+                    supernodes,
+                    features,
+                    self._epsilon_eta,
+                    adjacency=adjacency,
+                    reconnect=True,
+                )
 
         # Step 5: weighted superlinks
-        weights = superlink_weights(
-            adjacency,
-            supernodes,
-            node_features=features,
-            mode=self._superlink_mode,
-        )
+        with timer.time("module2.superlinks"):
+            weights = superlink_weights(
+                adjacency,
+                supernodes,
+                node_features=features,
+                mode=self._superlink_mode,
+            )
 
         self.report = SupergraphBuildReport(
             scan=scan,
@@ -198,6 +250,7 @@ def build_supergraph(
     kappa_max: Optional[int] = None,
     sample_size: Optional[int] = None,
     seed: RngLike = None,
+    workers: Optional[int] = None,
 ) -> Supergraph:
     """One-shot convenience wrapper around :class:`SupergraphBuilder`."""
     builder = SupergraphBuilder(
@@ -207,5 +260,6 @@ def build_supergraph(
         kappa_max=kappa_max,
         sample_size=sample_size,
         seed=seed,
+        workers=workers,
     )
     return builder.build(road_graph)

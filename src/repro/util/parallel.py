@@ -1,0 +1,103 @@
+"""Deterministic parallel mapping for independent work items.
+
+The partitioning pipeline has several embarrassingly parallel loops —
+the per-kappa k-means fits of Algorithm 1's scan, the shortlist
+refits in :class:`repro.supergraph.SupergraphBuilder` — whose items
+are completely independent. :func:`map_parallel` runs such loops over
+a worker pool while guaranteeing **deterministic, input-ordered
+results**: the output list always satisfies ``out[i] == fn(items[i])``
+regardless of worker count, so parallelism can never change what the
+pipeline computes (only how fast).
+
+Worker-count resolution, in priority order:
+
+1. the explicit ``workers`` argument;
+2. the ``REPRO_NUM_WORKERS`` environment variable;
+3. serial execution (``1``).
+
+``workers=1`` (the default when neither is set) takes a plain-loop
+fast path with no executor overhead, which keeps single-core
+environments and tests free of thread/process machinery.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+from repro.exceptions import ReproError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV_VAR = "REPRO_NUM_WORKERS"
+
+_MODES = ("thread", "process")
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve an effective worker count (>= 1).
+
+    Parameters
+    ----------
+    workers:
+        Explicit worker count; ``None`` falls back to the
+        ``REPRO_NUM_WORKERS`` environment variable, and to ``1``
+        (serial) when that is unset or empty.
+    """
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if not env:
+            return 1
+        workers = env  # type: ignore[assignment]
+    try:
+        count = int(workers)
+    except (TypeError, ValueError):
+        raise ReproError(f"worker count must be an integer, got {workers!r}") from None
+    if count < 1:
+        raise ReproError(f"worker count must be >= 1, got {count}")
+    return count
+
+
+def map_parallel(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: Optional[int] = None,
+    mode: str = "thread",
+) -> List[R]:
+    """``[fn(item) for item in items]`` over a worker pool, order preserved.
+
+    Parameters
+    ----------
+    fn:
+        The per-item function. Must be picklable (module-level) when
+        ``mode="process"``; any callable works with threads.
+    items:
+        The work items; consumed eagerly so the item count is known.
+    workers:
+        Worker count; see :func:`resolve_workers`. With the resolved
+        count at 1 (or fewer than 2 items) the map runs serially in
+        the calling thread.
+    mode:
+        ``"thread"`` (default) uses a :class:`ThreadPoolExecutor` —
+        zero pickling constraints, effective when ``fn`` releases the
+        GIL (BLAS, I/O); ``"process"`` uses a
+        :class:`ProcessPoolExecutor` for pure-Python CPU-bound work.
+
+    Returns
+    -------
+    list
+        Results in input order — identical for every worker count.
+        The first exception raised by ``fn`` propagates to the caller.
+    """
+    if mode not in _MODES:
+        raise ReproError(f"mode must be one of {_MODES}, got {mode!r}")
+    work = list(items)
+    count = min(resolve_workers(workers), max(len(work), 1))
+    if count <= 1 or len(work) < 2:
+        return [fn(item) for item in work]
+    executor_cls = ThreadPoolExecutor if mode == "thread" else ProcessPoolExecutor
+    with executor_cls(max_workers=count) as pool:
+        return list(pool.map(fn, work))

@@ -6,6 +6,7 @@ comparison, city-scale scan) are exercised indirectly by the benchmark
 suite and skipped here.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -13,6 +14,7 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).parent.parent / "examples"
+SRC = Path(__file__).parent.parent / "src"
 
 FAST_EXAMPLES = [
     "quickstart.py",
@@ -20,6 +22,20 @@ FAST_EXAMPLES = [
     "perimeter_control.py",
     "corridor_study.py",
 ]
+
+
+def _example_env() -> dict:
+    """Spawn environment with ``src`` on PYTHONPATH.
+
+    The examples import ``repro`` without the package being installed;
+    the subprocess does not inherit pytest's own import path, so the
+    repo's ``src`` directory must be injected explicitly.
+    """
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    parts = [str(SRC)] + ([existing] if existing else [])
+    env["PYTHONPATH"] = os.pathsep.join(parts)
+    return env
 
 
 @pytest.mark.parametrize("script", FAST_EXAMPLES)
@@ -32,6 +48,7 @@ def test_example_runs(script, tmp_path):
         capture_output=True,
         text=True,
         timeout=300,
+        env=_example_env(),
     )
     assert proc.returncode == 0, (
         f"{script} failed:\n--- stdout ---\n{proc.stdout[-2000:]}"

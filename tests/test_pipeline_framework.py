@@ -29,7 +29,10 @@ class TestFramework:
     def test_all_three_modules_timed(self, network, densities):
         fw = SpatialPartitioningFramework(k=3, scheme="ASG", seed=0)
         result = fw.partition(network, densities)
-        assert set(result.timings) == {"module1", "module2", "module3"}
+        assert {"module1", "module2", "module3"} <= set(result.timings)
+        # any extra keys are fine-grained sub-timings of a module
+        extras = set(result.timings) - {"module1", "module2", "module3"}
+        assert all(name.startswith(("module1.", "module2.", "module3.")) for name in extras)
         assert result.total_time > 0
 
     def test_uses_network_densities_by_default(self, network, densities):

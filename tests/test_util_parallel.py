@@ -1,0 +1,105 @@
+"""map_parallel: worker resolution, ordering, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.optimality import scan_kappa
+from repro.exceptions import ReproError
+from repro.util.parallel import WORKERS_ENV_VAR, map_parallel, resolve_workers
+
+
+class TestResolveWorkers:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_var_fallback(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "5")
+        assert resolve_workers(None) == 5
+
+    def test_serial_default(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_empty_env_is_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "  ")
+        assert resolve_workers(None) == 1
+
+    @pytest.mark.parametrize("bad", [0, -2, "three"])
+    def test_invalid_counts_rejected(self, bad, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        with pytest.raises(ReproError):
+            resolve_workers(bad)
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "lots")
+        with pytest.raises(ReproError):
+            resolve_workers(None)
+
+
+class TestMapParallel:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_matches_serial_map_in_order(self, workers):
+        items = list(range(23))
+        assert map_parallel(lambda x: x * x, items, workers=workers) == [
+            x * x for x in items
+        ]
+
+    def test_empty_items(self):
+        assert map_parallel(lambda x: x, [], workers=4) == []
+
+    def test_generator_items(self):
+        assert map_parallel(lambda x: -x, (i for i in range(5)), workers=2) == [
+            0,
+            -1,
+            -2,
+            -3,
+            -4,
+        ]
+
+    def test_exception_propagates(self):
+        def boom(x):
+            if x == 3:
+                raise ValueError("item 3 failed")
+            return x
+
+        with pytest.raises(ValueError, match="item 3 failed"):
+            map_parallel(boom, range(6), workers=4)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ReproError):
+            map_parallel(lambda x: x, [1, 2], workers=2, mode="fiber")
+
+    def test_process_mode(self):
+        assert map_parallel(abs, [-2, -1, 0, 1], workers=2, mode="process") == [
+            2,
+            1,
+            0,
+            1,
+        ]
+
+
+class TestKappaScanDeterminism:
+    def test_workers_do_not_change_the_scan(self):
+        """workers=1 and workers=4 must give identical kappa-scan output."""
+        rng = np.random.default_rng(11)
+        values = rng.gamma(2.0, 0.02, size=240)
+
+        serial = scan_kappa(values, kappa_max=12, workers=1)
+        parallel = scan_kappa(values, kappa_max=12, workers=4)
+
+        assert serial.kappas == parallel.kappas
+        assert serial.mcg == parallel.mcg
+        assert serial.best_kappa == parallel.best_kappa
+        for a, b in zip(serial.results, parallel.results):
+            assert np.array_equal(a.labels, b.labels)
+            assert np.array_equal(a.centers, b.centers)
+            assert a.inertia == b.inertia
+
+    def test_env_var_drives_scan_workers(self, monkeypatch):
+        rng = np.random.default_rng(3)
+        values = rng.gamma(2.0, 0.02, size=120)
+        baseline = scan_kappa(values, kappa_max=8)
+        monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+        via_env = scan_kappa(values, kappa_max=8)
+        assert baseline.mcg == via_env.mcg
