@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench bench-full bench-hotpaths examples docs-check all
+.PHONY: install test bench bench-full bench-hotpaths bench-obs trace-demo examples docs-check all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -16,6 +16,16 @@ bench-full:
 
 bench-hotpaths:
 	pytest benchmarks/test_bench_hotpaths.py -s
+
+bench-obs:
+	pytest benchmarks/test_bench_obs_overhead.py -s
+
+# Observed demo run: trace.json opens in https://ui.perfetto.dev,
+# metrics.json holds the counters + run manifest.
+trace-demo:
+	python -m repro --log-level info partition D1 -k 6 --json \
+		--trace-out trace.json --metrics-out metrics.json > result.json
+	@echo "wrote result.json, trace.json, metrics.json"
 
 examples:
 	@for script in examples/*.py; do \

@@ -24,6 +24,7 @@ import pytest
 
 from repro.datasets.registry import load_dataset
 from repro.network.dual import build_road_graph
+from repro.obs.manifest import run_manifest
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -53,9 +54,16 @@ def large_graphs():
 
 
 def save_results(name: str, payload: Dict) -> Path:
-    """Persist a bench's reported numbers under benchmarks/results/."""
+    """Persist a bench's reported numbers under benchmarks/results/.
+
+    A ``provenance`` run manifest (package versions, platform, git SHA,
+    timestamp) is attached so recorded numbers stay comparable across
+    machines and commits.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"
+    payload = dict(payload)
+    payload.setdefault("provenance", run_manifest(extra={"bench": name}))
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, default=_jsonify)
     return path

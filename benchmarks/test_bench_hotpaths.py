@@ -30,6 +30,7 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import print_table, save_results
+from repro.obs.manifest import run_manifest
 from repro.clustering.kmeans import (
     assign_to_centers,
     kmeans_1d,
@@ -170,6 +171,7 @@ def test_bench_hotpaths(synthetic_city):
     )
 
     save_results("bench_hotpaths", payload)
+    payload["provenance"] = run_manifest(extra={"bench": "bench_hotpaths"})
     with open(ROOT_RESULTS, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2)
 

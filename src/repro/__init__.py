@@ -42,6 +42,7 @@ from repro.network import (
     ring_radial_network,
     urban_network,
 )
+from repro.obs import ObsContext, observe_run
 from repro.pipeline import (
     IncrementalRepartitioner,
     PartitioningResult,
@@ -65,6 +66,9 @@ __all__ = [
     "IncrementalRepartitioner",
     "select_k_by_ans",
     "select_k_by_eigengap",
+    # observability
+    "ObsContext",
+    "observe_run",
     # analysis
     "PartitionTracker",
     "partition_report",

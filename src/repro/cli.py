@@ -36,15 +36,28 @@ import numpy as np
 from repro.datasets.registry import dataset_names, load_dataset
 from repro.network.dual import build_road_graph
 from repro.network.io import load_network_json, save_density_series
+from repro.obs.context import ObsContext
+from repro.obs.logs import LOG_LEVELS, configure_logging
 from repro.pipeline.framework import SpatialPartitioningFramework
 from repro.pipeline.schemes import SCHEMES, run_scheme
 from repro.traffic.simulator import MicroSimulator
+
+
+def _diag(message: str) -> None:
+    """Print a human diagnostic to stderr, keeping stdout pipeable."""
+    print(message, file=sys.stderr)
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-partition",
         description="Congestion-based spatial partitioning of urban road networks",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="warning",
+        help="verbosity of the structured log on stderr",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -70,6 +83,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     part.add_argument(
         "--labels-out", default=None, help="write per-segment labels to this CSV"
+    )
+    part.add_argument(
+        "--trace-out",
+        default=None,
+        help="write a Chrome trace-event JSON of the run to this path "
+        "(open in Perfetto / chrome://tracing)",
+    )
+    part.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the run's metrics dump (counters, gauges, histograms "
+        "plus the run manifest) to this JSON path",
     )
 
     data = sub.add_parser("datasets", help="list built-in datasets")
@@ -126,11 +151,16 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         network = load_network_json(args.dataset)
         densities = network.densities()
 
+    obs = None
+    if args.trace_out or args.metrics_out:
+        obs = ObsContext(dataset=args.dataset, scheme=args.scheme)
+
     framework = SpatialPartitioningFramework(
         k=args.k,
         scheme=args.scheme,
         epsilon_eta=args.stability,
         seed=args.seed,
+        obs=obs,
     )
     result = framework.partition(network, densities)
     metrics = result.evaluate(framework.last_road_graph)
@@ -138,6 +168,17 @@ def _cmd_partition(args: argparse.Namespace) -> int:
 
     if args.labels_out:
         np.savetxt(args.labels_out, result.labels, fmt="%d")
+        _diag(f"wrote labels to {args.labels_out}")
+    if obs is not None and args.trace_out:
+        obs.write_trace(args.trace_out)
+        _diag(f"wrote trace to {args.trace_out}")
+    if obs is not None and args.metrics_out:
+        obs.write_metrics(
+            args.metrics_out,
+            config=framework.config_dict(),
+            seed=args.seed,
+        )
+        _diag(f"wrote metrics to {args.metrics_out}")
 
     if args.json:
         payload = {
@@ -148,6 +189,8 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             "sizes": result.partition_sizes().tolist(),
             "timings": result.timings,
             "connected": validation.is_valid,
+            "run_id": obs.run_id if obs is not None else None,
+            "manifest": result.manifest,
         }
         print(json.dumps(payload, indent=2))
         return 0
@@ -171,7 +214,7 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     names = args.names or dataset_names()
     unknown = [n for n in names if n not in dataset_names()]
     if unknown:
-        print(f"unknown datasets: {', '.join(unknown)}")
+        _diag(f"unknown datasets: {', '.join(unknown)}")
         return 1
     for name in names:
         network, __ = load_dataset(name)
@@ -188,7 +231,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     simulator = MicroSimulator(network, seed=args.seed)
     result = simulator.run(n_vehicles=args.vehicles, n_steps=args.steps)
     save_density_series(result.densities, args.out)
-    print(
+    _diag(
         f"wrote {result.n_steps} x {network.n_segments} densities to {args.out} "
         f"({result.completed_trips} trips completed)"
     )
@@ -218,7 +261,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.k_min < 1 or args.k_max < args.k_min:
-        print("invalid k range")
+        _diag("invalid k range")
         return 1
     network, densities = load_dataset(args.dataset, seed=args.seed)
     graph = build_road_graph(network).with_features(densities)
@@ -232,13 +275,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             writer.writerow(
                 [k] + [f"{metrics[m]:.6f}" for m in ("inter", "intra", "gdbi", "ans")]
             )
-    print(f"wrote {args.k_max - args.k_min + 1} rows to {args.out}")
+    _diag(f"wrote {args.k_max - args.k_min + 1} rows to {args.out}")
     return 0
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
     if not args.svg and not args.geojson:
-        print("nothing to do: pass --svg and/or --geojson")
+        _diag("nothing to do: pass --svg and/or --geojson")
         return 1
     network, densities = load_dataset(args.dataset, seed=args.seed)
     framework = SpatialPartitioningFramework(
@@ -253,7 +296,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
             network, result.labels, title=f"{args.dataset} k={result.k}"
         )
         save_svg(svg, args.svg)
-        print(f"wrote {args.svg}")
+        _diag(f"wrote {args.svg}")
     if args.geojson:
         from repro.network.geojson import network_to_geojson, save_geojson
 
@@ -261,7 +304,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
             network, labels=result.labels, densities=densities
         )
         save_geojson(doc, args.geojson)
-        print(f"wrote {args.geojson}")
+        _diag(f"wrote {args.geojson}")
     return 0
 
 
@@ -297,6 +340,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    configure_logging(level=args.log_level)
     handlers = {
         "partition": _cmd_partition,
         "datasets": _cmd_datasets,

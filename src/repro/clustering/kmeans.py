@@ -36,6 +36,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import ClusteringError
+from repro.obs.metrics import incr, metrics_enabled
 from repro.util.rng import RngLike, ensure_rng
 
 
@@ -166,6 +167,8 @@ def kmeans_1d(
     bounds = (centers[:-1] + centers[1:]) / 2.0
     labels = np.searchsorted(bounds, data, side="left")
     inertia = float(((data - centers[labels]) ** 2).sum())
+    incr("kmeans1d.fits")
+    incr("kmeans1d.iterations", n_iter)
     return KMeansResult(labels=labels, centers=centers, inertia=inertia, n_iter=n_iter)
 
 
@@ -344,14 +347,24 @@ def kmeans(
 
     sq_norms = (arr**2).sum(axis=1)
 
+    # reassignment counting costs an O(n) compare per iteration, so it
+    # only runs while a metrics registry is active
+    track_moves = metrics_enabled()
+    reassigned = 0
+
     best: Optional[KMeansResult] = None
     for __ in range(n_init):
         centers = _kmeanspp_init(arr, kappa, rng)
         labels = np.zeros(n, dtype=int)
+        prev_labels: Optional[np.ndarray] = None
         n_iter = 0
         for n_iter in range(1, max_iter + 1):
             # assignment step (chunked expansion, no n*kappa*d tensor)
             labels, __dists = assign_to_centers(arr, centers, sq_norms=sq_norms)
+            if track_moves:
+                if prev_labels is not None:
+                    reassigned += int((labels != prev_labels).sum())
+                prev_labels = labels
 
             # update step
             new_centers = centers.copy()
@@ -377,7 +390,11 @@ def kmeans(
         candidate = KMeansResult(
             labels=labels, centers=centers, inertia=inertia, n_iter=n_iter
         )
+        incr("kmeans_nd.fits")
+        incr("kmeans_nd.iterations", n_iter)
         if best is None or candidate.inertia < best.inertia:
             best = candidate
+    if track_moves:
+        incr("kmeans_nd.reassignments", reassigned)
     assert best is not None
     return best

@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.clustering.kmeans import KMeansResult, kmeans_1d
 from repro.exceptions import ClusteringError
+from repro.obs.metrics import incr, set_gauge
 from repro.util.parallel import map_parallel
 from repro.util.rng import RngLike, ensure_rng
 from repro.util.timer import ModuleTimer
@@ -292,6 +293,10 @@ def scan_kappa(
             scan.kappas.append(kappa)
             scan.mcg.append(mcg)
             scan.results.append(result)
+    incr("kappa_scan.candidates", len(scan.kappas))
+    set_gauge("kappa_scan.sampled", 1.0 if sampled else 0.0)
+    set_gauge("kappa_scan.best_kappa", scan.best_kappa)
+    set_gauge("kappa_scan.best_mcg", scan.best_mcg)
     return scan
 
 
@@ -326,4 +331,5 @@ def shortlist_kappa(
         shortlisted = scan.shortlist_fraction(epsilon_fraction)
     if not shortlisted:
         shortlisted = [scan.best_kappa]
+    incr("kappa_scan.shortlisted", len(shortlisted))
     return shortlisted, scan

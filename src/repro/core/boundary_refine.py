@@ -20,6 +20,7 @@ import scipy.sparse as sp
 
 from repro.exceptions import PartitioningError
 from repro.graph.components import is_connected
+from repro.obs.metrics import incr
 
 
 def boundary_refine(
@@ -74,7 +75,10 @@ def boundary_refine(
     sums = np.bincount(lab, weights=feats, minlength=k)
     indptr, indices = adj.indptr, adj.indices
 
+    total_moves = 0
+    sweeps = 0
     for __ in range(max_sweeps):
+        sweeps += 1
         moved = 0
         for u in range(n):
             current = int(lab[u])
@@ -110,6 +114,10 @@ def boundary_refine(
             sizes[best_part] += 1
             sums[best_part] += feats[u]
             moved += 1
+        total_moves += moved
         if moved == 0:
             break
+    incr("boundary_refine.calls")
+    incr("boundary_refine.sweeps", sweeps)
+    incr("boundary_refine.moves", total_moves)
     return lab

@@ -20,6 +20,7 @@ import scipy.sparse as sp
 
 from repro.core.alpha_cut import alpha_cut_value
 from repro.exceptions import PartitioningError
+from repro.obs.metrics import incr
 from repro.util.rng import RngLike, ensure_rng
 
 
@@ -140,6 +141,7 @@ def recursive_bipartition(
             )
         sub = meta_adj[np.ix_(group, group)]
         side = bipartition_fn(sub, rng)
+        incr("refine.bipartitions")
         queue.append(group[side == 0])
         queue.append(group[side == 1])
 
@@ -192,6 +194,7 @@ def greedy_prune(
             best_pair = (int(order[0]), int(order[1]))
         i, j = min(best_pair), max(best_pair)
         current = _dense_labels(np.where(current == j, i, current))
+        incr("refine.greedy_merges")
     return current
 
 
@@ -256,5 +259,6 @@ def repair_connectivity(adjacency, labels, k: int) -> np.ndarray:
             # of exactly k partitions)
             a, b = int(order[0]), int(order[1])
             comp = _dense_labels(np.where(comp == a, b, comp))
+        incr("refine.connectivity_merges")
         n_comp = int(comp.max()) + 1
     return comp

@@ -25,6 +25,7 @@ from repro.exceptions import PartitioningError
 from repro.clustering.kmeans import kmeans
 from repro.graph.components import connected_components
 from repro.graph.laplacian import AlphaCutOperator, alpha_cut_matrix
+from repro.obs.metrics import incr
 from repro.util.rng import RngLike, ensure_rng
 
 DENSE_CUTOFF = 1500
@@ -64,18 +65,22 @@ def smallest_eigenvectors(
     if method == "lanczos":
         from repro.graph.lanczos import lanczos_smallest
 
+        incr("eigensolver.lanczos_calls")
         return lanczos_smallest(AlphaCutOperator(adj), k)
 
     if method == "dense" or (method == "auto" and (n <= DENSE_CUTOFF or k >= n - 1)):
+        incr("eigensolver.dense_calls")
         m = alpha_cut_matrix(adj)
         values, vectors = np.linalg.eigh(m)
         return values[:k], vectors[:, :k]
 
     operator = AlphaCutOperator(adj)
+    incr("eigensolver.arpack_calls")
     try:
         values, vectors = eigsh(operator, k=k, which="SA")
     except ArpackNoConvergence as exc:
         # fall back to whatever converged, topped up by the dense path
+        incr("eigensolver.arpack_no_convergence")
         if exc.eigenvalues is not None and len(exc.eigenvalues) >= k:
             values, vectors = exc.eigenvalues[:k], exc.eigenvectors[:, :k]
         else:

@@ -22,6 +22,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import GraphError
+from repro.obs.metrics import incr
 from repro.util.rng import RngLike, ensure_rng
 
 
@@ -99,6 +100,7 @@ def lanczos_tridiagonalize(
         betas.append(beta)
         basis.append(w / beta)
 
+    incr("lanczos.iterations", len(alphas))
     return (
         np.asarray(alphas),
         np.asarray(betas[: len(alphas) - 1]),

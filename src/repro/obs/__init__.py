@@ -1,0 +1,78 @@
+"""Observability for the partitioning pipeline.
+
+The paper's Table 3 is a per-module runtime breakdown; reproducing —
+and then scaling — it requires the pipeline to self-report where time
+and work go. This package provides the four pillars:
+
+* :mod:`repro.obs.trace` — hierarchical span tracing (`Span`/`Tracer`)
+  with nested-JSON and Chrome trace-event exports (open them in
+  Perfetto / ``chrome://tracing``);
+* :mod:`repro.obs.metrics` — a process-wide metrics registry
+  (counters, gauges, histograms) recording algorithm-level facts such
+  as kappa candidates scanned, k-means iterations, supernode counts
+  and refinement moves;
+* :mod:`repro.obs.logs` — structured logging on top of stdlib
+  :mod:`logging` with a run-scoped context (run id, dataset, scheme);
+* :mod:`repro.obs.manifest` — reproducibility manifests (config,
+  seed, package versions, platform, git SHA, timestamp).
+
+:class:`repro.obs.ObsContext` bundles all four for one pipeline run::
+
+    from repro.obs import ObsContext
+
+    obs = ObsContext(dataset="D1", scheme="ASG")
+    framework = SpatialPartitioningFramework(k=6, seed=7, obs=obs)
+    result = framework.partition(network, densities)
+    obs.write_trace("trace.json")      # Chrome trace-event format
+    obs.write_metrics("metrics.json")  # counters/gauges/histograms
+
+Everything is contextvar-scoped: instrumentation helpers sprinkled in
+the hot paths (``incr``, ``set_gauge``, ``observe``, span-aware
+``ModuleTimer``) resolve the active tracer/registry per call and are a
+single dictionary-free lookup — effectively free — when no
+observability session is active.
+"""
+
+from repro.obs.context import ObsContext, observe_run
+from repro.obs.logs import configure_logging, get_logger, log_context
+from repro.obs.manifest import MANIFEST_SCHEMA_VERSION, run_manifest
+from repro.obs.metrics import (
+    MetricsRegistry,
+    current_registry,
+    incr,
+    metrics_enabled,
+    observe,
+    set_gauge,
+    use_registry,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    activate_tracer,
+    current_tracer,
+    traced,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "ObsContext",
+    "observe_run",
+    "Span",
+    "Tracer",
+    "activate_tracer",
+    "current_tracer",
+    "traced",
+    "validate_chrome_trace",
+    "MetricsRegistry",
+    "current_registry",
+    "use_registry",
+    "metrics_enabled",
+    "incr",
+    "set_gauge",
+    "observe",
+    "configure_logging",
+    "get_logger",
+    "log_context",
+    "run_manifest",
+    "MANIFEST_SCHEMA_VERSION",
+]

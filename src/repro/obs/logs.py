@@ -1,0 +1,145 @@
+"""Structured logging with a run-scoped context.
+
+Thin layer over stdlib :mod:`logging`:
+
+* :func:`get_logger` — namespaced loggers under the ``repro`` root;
+* :func:`configure_logging` — one stderr handler on the ``repro``
+  root with either a human-readable line format or JSON lines, both
+  carrying the run context fields;
+* :func:`log_context` — a contextvar-scoped dict of run fields
+  (run id, dataset, scheme ...) injected into every record emitted
+  inside the block, so pipeline internals never thread logging state
+  explicitly.
+
+Log output always goes to stderr (or an explicit stream), never
+stdout: machine-readable command output (``--json``) must stay clean
+and pipeable.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = ["get_logger", "configure_logging", "log_context", "LOG_LEVELS"]
+
+ROOT_LOGGER_NAME = "repro"
+
+#: Accepted ``--log-level`` choices, mildest last.
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+_RUN_CONTEXT: ContextVar[Dict[str, str]] = ContextVar("repro_log_context", default={})
+
+#: Marker attribute identifying handlers installed by configure_logging.
+_HANDLER_MARK = "_repro_obs_handler"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger in the ``repro`` namespace (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+class _ContextFilter(logging.Filter):
+    """Inject the ambient run-context fields into every record."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        ctx = _RUN_CONTEXT.get()
+        record.run_id = ctx.get("run_id", "-")
+        record.dataset = ctx.get("dataset", "-")
+        record.scheme = ctx.get("scheme", "-")
+        record.run_context = ctx
+        return True
+
+
+class _JsonFormatter(logging.Formatter):
+    """One JSON object per line — structured logs for machine ingestion."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "iso": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+            ),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        payload.update(getattr(record, "run_context", {}) or {})
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+_TEXT_FORMAT = (
+    "%(asctime)s %(levelname)-7s %(name)s "
+    "[run=%(run_id)s dataset=%(dataset)s scheme=%(scheme)s] %(message)s"
+)
+
+
+def configure_logging(
+    level: str = "warning",
+    stream=None,
+    json_lines: bool = False,
+) -> logging.Logger:
+    """Configure the ``repro`` root logger with a single stderr handler.
+
+    Idempotent: calling again replaces the previously installed
+    handler (so tests and repeated CLI invocations never stack
+    handlers). Returns the configured root logger.
+
+    Parameters
+    ----------
+    level:
+        One of :data:`LOG_LEVELS` (case-insensitive).
+    stream:
+        Target stream; defaults to ``sys.stderr``.
+    json_lines:
+        Emit one JSON object per line instead of formatted text.
+    """
+    level_name = str(level).lower()
+    if level_name not in LOG_LEVELS:
+        raise ValueError(f"log level must be one of {LOG_LEVELS}, got {level!r}")
+
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            root.removeHandler(handler)
+
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    setattr(handler, _HANDLER_MARK, True)
+    handler.addFilter(_ContextFilter())
+    handler.setFormatter(
+        _JsonFormatter() if json_lines else logging.Formatter(_TEXT_FORMAT)
+    )
+    root.addHandler(handler)
+    root.setLevel(level_name.upper())
+    # keep repro logs out of any application-level root handlers —
+    # double-printing diagnostics would pollute CLI output
+    root.propagate = False
+    return root
+
+
+@contextmanager
+def log_context(**fields: Any) -> Iterator[Dict[str, str]]:
+    """Bind run-scoped fields to every log record in the block.
+
+    >>> log = get_logger("pipeline")
+    >>> with log_context(run_id="abc123", dataset="D1", scheme="ASG"):
+    ...     log.debug("module1 done")  # record carries run/dataset/scheme
+    """
+    merged = dict(_RUN_CONTEXT.get())
+    merged.update({k: str(v) for k, v in fields.items() if v is not None})
+    token = _RUN_CONTEXT.set(merged)
+    try:
+        yield merged
+    finally:
+        _RUN_CONTEXT.reset(token)

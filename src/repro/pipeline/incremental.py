@@ -27,8 +27,12 @@ import numpy as np
 
 from repro.exceptions import PartitioningError
 from repro.graph.adjacency import Graph
+from repro.obs.logs import get_logger
+from repro.obs.metrics import incr
 from repro.pipeline.schemes import run_scheme
 from repro.util.rng import RngLike
+
+logger = get_logger("pipeline.incremental")
 
 
 @dataclass
@@ -121,6 +125,12 @@ class IncrementalRepartitioner:
             if abs(new - old) / denom > self._threshold:
                 stale.append(region)
 
+        incr("incremental.updates")
+        incr("incremental.regions_refreshed", len(stale))
+        incr("incremental.regions_kept", n_regions - len(stale))
+        logger.info(
+            "incremental update: %d/%d regions stale", len(stale), n_regions
+        )
         if not stale:
             self._region_means = new_means
             return UpdateReport(refreshed=[], kept=list(range(n_regions)), labels=labels.copy())

@@ -36,6 +36,10 @@ class PartitioningResult:
         contained in their module's total.
     n_supernodes:
         Supergraph order, for supergraph-based schemes.
+    manifest:
+        Run manifest (config, seed, package versions, platform, git
+        SHA, timestamp) attached by the framework; see
+        :func:`repro.obs.manifest.run_manifest`.
     """
 
     labels: np.ndarray
@@ -43,6 +47,7 @@ class PartitioningResult:
     k: int = 0
     timings: Dict[str, float] = field(default_factory=dict)
     n_supernodes: Optional[int] = None
+    manifest: Optional[Dict] = None
 
     def __post_init__(self) -> None:
         self.labels = np.asarray(self.labels, dtype=int)

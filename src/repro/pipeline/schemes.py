@@ -26,12 +26,16 @@ from repro.core.partitioner import AlphaCutPartitioner
 from repro.exceptions import PartitioningError
 from repro.graph.adjacency import Graph
 from repro.graph.affinity import congestion_affinity
+from repro.obs.logs import get_logger
+from repro.obs.metrics import set_gauge
 from repro.pipeline.results import PartitioningResult
 from repro.supergraph.builder import SupergraphBuilder
 from repro.util.rng import RngLike, ensure_rng
 from repro.util.timer import ModuleTimer
 
 SCHEMES = ("AG", "NG", "ASG", "NSG", "JG")
+
+logger = get_logger("pipeline.schemes")
 
 
 def run_scheme(
@@ -87,6 +91,12 @@ def run_scheme(
         raise PartitioningError(f"unknown scheme {scheme!r}; pick one of {SCHEMES}")
     rng = ensure_rng(seed)
     own_timer = timer if timer is not None else ModuleTimer()
+
+    set_gauge("graph.n_nodes", road_graph.n_nodes)
+    set_gauge("graph.n_edges", road_graph.n_edges)
+    logger.debug(
+        "running scheme %s on %d nodes (k=%d)", scheme, road_graph.n_nodes, k
+    )
 
     n_supernodes: Optional[int] = None
 

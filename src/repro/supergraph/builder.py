@@ -26,6 +26,8 @@ from repro.clustering.optimality import KappaScan, shortlist_kappa
 from repro.exceptions import GraphError
 from repro.graph.adjacency import Graph
 from repro.graph.components import count_constrained_components
+from repro.obs.logs import get_logger
+from repro.obs.metrics import incr, set_gauge
 from repro.supergraph.model import Supergraph
 from repro.supergraph.stability import stability_check
 from repro.supergraph.superlink import superlink_weights
@@ -33,6 +35,8 @@ from repro.supergraph.supernode import create_supernodes
 from repro.util.parallel import map_parallel
 from repro.util.rng import RngLike
 from repro.util.timer import ModuleTimer
+
+logger = get_logger("supergraph.builder")
 
 
 def _fit_and_count(
@@ -193,6 +197,7 @@ class SupergraphBuilder:
                 _fit_and_count, cluster_1d, features, sorted_features, adjacency
             )
             outcomes = map_parallel(fit, shortlisted, workers=self._workers)
+        incr("supergraph.shortlist_fits", len(shortlisted))
         best_kappa = -1
         best_count = None
         best_result = None
@@ -239,7 +244,22 @@ class SupergraphBuilder:
             component_counts=component_counts,
             n_supernodes_before_stability=n_before,
         )
-        return Supergraph(supernodes, weights, n_road_nodes=n)
+        supergraph = Supergraph(supernodes, weights, n_road_nodes=n)
+        incr("supergraph.builds")
+        set_gauge("supergraph.chosen_kappa", best_kappa)
+        set_gauge("supergraph.n_supernodes_before_stability", n_before)
+        set_gauge("supergraph.n_supernodes", supergraph.n_supernodes)
+        set_gauge("supergraph.n_superlinks", supergraph.adjacency.nnz // 2)
+        logger.info(
+            "supergraph built: %d road nodes -> %d supernodes "
+            "(kappa=%d of %d shortlisted, %d before stability)",
+            n,
+            supergraph.n_supernodes,
+            best_kappa,
+            len(shortlisted),
+            n_before,
+        )
+        return supergraph
 
 
 def build_supergraph(

@@ -27,6 +27,7 @@ import scipy.sparse as sp
 
 from repro.exceptions import GraphError
 from repro.graph.components import connected_components
+from repro.obs.metrics import incr
 from repro.supergraph.supernode import Supernode
 
 
@@ -124,6 +125,7 @@ def stability_check(
     stack: List = [(sn.members, sn.feature, False) for sn in supernodes]
     while stack:
         members, feature, was_split = stack.pop()
+        incr("stability.checks")
         eta = stability(feats[members])
         if eta >= epsilon_eta or members.size == 1:
             value = float(feats[members].mean()) if was_split else feature
@@ -135,6 +137,7 @@ def stability_check(
             value = float(feats[members].mean()) if was_split else feature
             accepted.append(Supernode(len(accepted), members, value))
             continue
+        incr("stability.splits")
         for half in halves:
             if reconnect:
                 for piece in _connected_pieces(half, adjacency):

@@ -18,15 +18,27 @@ Worker-count resolution, in priority order:
 ``workers=1`` (the default when neither is set) takes a plain-loop
 fast path with no executor overhead, which keeps single-core
 environments and tests free of thread/process machinery.
+
+Observability: thread-mode maps propagate the caller's context
+(ambient tracer / metrics registry / log fields are contextvars) into
+each worker invocation, so instrumentation inside ``fn`` — e.g. the
+k-means iteration counters — records into the caller's registry.
+When metrics are enabled, each map reports item counts, the resolved
+worker count, per-item wall times and the pool utilization
+(busy time / (wall time * workers)). Process-mode workers run in
+separate interpreters; metrics recorded there stay there.
 """
 
 from __future__ import annotations
 
+import contextvars
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, List, Optional, TypeVar
 
 from repro.exceptions import ReproError
+from repro.obs.metrics import current_registry
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -96,8 +108,53 @@ def map_parallel(
         raise ReproError(f"mode must be one of {_MODES}, got {mode!r}")
     work = list(items)
     count = min(resolve_workers(workers), max(len(work), 1))
+    registry = current_registry()
+    if registry is not None:
+        registry.inc("parallel.maps")
+        registry.inc("parallel.items", len(work))
+        registry.set_gauge("parallel.workers", count)
+
     if count <= 1 or len(work) < 2:
         return [fn(item) for item in work]
-    executor_cls = ThreadPoolExecutor if mode == "thread" else ProcessPoolExecutor
-    with executor_cls(max_workers=count) as pool:
+
+    if mode == "thread":
+        return _map_threaded(fn, work, count, registry)
+    with ProcessPoolExecutor(max_workers=count) as pool:
         return list(pool.map(fn, work))
+
+
+def _map_threaded(
+    fn: Callable[[T], R],
+    work: List[T],
+    count: int,
+    registry,
+) -> List[R]:
+    """Thread-pool map with context propagation and utilization metrics."""
+    # one context copy per item: each carries the caller's ambient
+    # tracer/metrics/log-context into the worker thread (a Context can
+    # only be entered once, hence per-item copies)
+    contexts = [contextvars.copy_context() for __ in work]
+
+    if registry is None:
+        run = lambda ctx, item: ctx.run(fn, item)  # noqa: E731
+    else:
+        busy: List[float] = []  # list.append is atomic under the GIL
+
+        def run(ctx, item):
+            t0 = time.perf_counter()
+            try:
+                return ctx.run(fn, item)
+            finally:
+                elapsed = time.perf_counter() - t0
+                busy.append(elapsed)
+                registry.observe("parallel.item_seconds", elapsed)
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=count) as pool:
+        results = list(pool.map(run, contexts, work))
+    if registry is not None:
+        wall = time.perf_counter() - start
+        # share of the pool's capacity spent inside fn during this map
+        utilization = min(1.0, sum(busy) / (wall * count)) if wall > 0 else 1.0
+        registry.set_gauge("parallel.utilization", utilization)
+    return results

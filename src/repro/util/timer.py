@@ -4,12 +4,28 @@ The paper's Table 3 reports per-module running times (road graph
 construction, supergraph mining, supergraph partitioning).
 :class:`ModuleTimer` collects those measurements inside the pipeline so
 the benchmark harness can print the same breakdown.
+
+Since the observability layer landed, :class:`ModuleTimer` is a thin
+adapter over :class:`repro.obs.trace.Tracer`: it keeps its historical
+flat ``{name: seconds}`` API, and in addition every ``time(name)``
+block is recorded as a span on the ambient tracer (when a
+:class:`repro.obs.ObsContext` is active), giving hierarchical traces
+without any changes at the call sites.
+
+Naming convention: top-level module buckets are undotted
+(``module1``, ``module2``, ``module3``); fine-grained sub-timings use
+dotted names (``module2.scan``) and are *breakdowns* of time already
+counted by their parent bucket. :attr:`ModuleTimer.total` therefore
+sums only the undotted buckets — summing everything would count parent
+and child once each.
 """
 
 from __future__ import annotations
 
 import time
 from typing import Dict, Optional
+
+from repro.obs.trace import Tracer, current_tracer
 
 
 class Timer:
@@ -39,17 +55,41 @@ class Timer:
 
 
 class ModuleTimer:
-    """Accumulates named timings, mirroring the paper's module breakdown."""
+    """Accumulates named timings, mirroring the paper's module breakdown.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    tracer:
+        Tracer receiving one span per ``time(name)`` block. Defaults
+        to the ambient tracer (:func:`repro.obs.trace.current_tracer`),
+        which is None — no spans, zero overhead — outside an
+        observability session.
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
         self._timings: Dict[str, float] = {}
+        self._tracer = tracer if tracer is not None else current_tracer()
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The tracer receiving this timer's spans, if any."""
+        return self._tracer
 
     def time(self, name: str) -> "_NamedTiming":
         """Return a context manager that records elapsed time as ``name``."""
         return _NamedTiming(self, name)
 
     def add(self, name: str, seconds: float) -> None:
-        """Accumulate ``seconds`` onto the timing bucket ``name``."""
+        """Accumulate ``seconds`` onto the timing bucket ``name``.
+
+        Also recorded as a (synthetic, ending-now) span when a tracer
+        is attached.
+        """
+        self._accumulate(name, seconds)
+        if self._tracer is not None:
+            self._tracer.record(name, float(seconds))
+
+    def _accumulate(self, name: str, seconds: float) -> None:
         self._timings[name] = self._timings.get(name, 0.0) + float(seconds)
 
     @property
@@ -59,8 +99,13 @@ class ModuleTimer:
 
     @property
     def total(self) -> float:
-        """Sum of all recorded timings in seconds."""
-        return sum(self._timings.values())
+        """Sum of the top-level (undotted) timing buckets in seconds.
+
+        Dotted names (``module2.scan`` ...) are fine-grained breakdowns
+        of time already counted by their parent bucket; including them
+        would double-count every instrumented second.
+        """
+        return sum(v for name, v in self._timings.items() if "." not in name)
 
     def __repr__(self) -> str:
         parts = ", ".join(f"{k}={v:.3f}s" for k, v in self._timings.items())
@@ -72,10 +117,18 @@ class _NamedTiming:
         self._owner = owner
         self._name = name
         self._timer = Timer()
+        self._span_cm = None
 
     def __enter__(self) -> Timer:
+        tracer = self._owner._tracer
+        if tracer is not None:
+            self._span_cm = tracer.span(self._name)
+            self._span_cm.__enter__()
         return self._timer.__enter__()
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self._timer.__exit__(exc_type, exc, tb)
-        self._owner.add(self._name, self._timer.elapsed)
+        if self._span_cm is not None:
+            self._span_cm.__exit__(exc_type, exc, tb)
+            self._span_cm = None
+        self._owner._accumulate(self._name, self._timer.elapsed)

@@ -58,6 +58,56 @@ class TestPartitionCommand:
         assert main(["partition", "D1", "-k", "3", "--scheme", "NG"]) == 0
         assert "NG" in capsys.readouterr().out
 
+    def test_json_stdout_is_pipeable(self, tmp_path, capsys):
+        """With --json, stdout must be exactly one parseable JSON doc
+        even when side outputs and observability flags are in play."""
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        labels = tmp_path / "labels.csv"
+        code = main(
+            [
+                "--log-level", "info",
+                "partition", "D1", "-k", "3", "--seed", "0", "--json",
+                "--trace-out", str(trace),
+                "--metrics-out", str(metrics),
+                "--labels-out", str(labels),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)  # would fail on any stray print
+        assert payload["k"] == 3
+        assert payload["run_id"]
+        assert payload["manifest"]["config"]["scheme"] == "ASG"
+        # the "wrote ..." diagnostics went to stderr instead
+        assert "wrote" in captured.err
+
+    def test_trace_and_metrics_outputs(self, tmp_path):
+        from repro.obs import validate_chrome_trace
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "partition", "D1", "-k", "4", "--seed", "1", "--json",
+                "--trace-out", str(trace),
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        trace_doc = json.loads(trace.read_text())
+        validate_chrome_trace(trace_doc)
+        names = {ev["name"] for ev in trace_doc["traceEvents"]}
+        assert {"run", "module1", "module2", "module3"} <= names
+        metrics_doc = json.loads(metrics.read_text())
+        assert metrics_doc["metrics"]["counters"]["supergraph.builds"] == 1
+        assert metrics_doc["run_id"] == trace_doc["otherData"]["run_id"]
+
+    def test_no_obs_files_without_flags(self, capsys):
+        assert main(["partition", "D1", "-k", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["run_id"] is None  # no ObsContext was created
+
     def test_bad_scheme_exits(self):
         with pytest.raises(SystemExit):
             main(["partition", "D1", "--scheme", "XX"])
@@ -91,4 +141,5 @@ class TestDatasetsCommand:
 
     def test_unknown_dataset_fails(self, capsys):
         assert main(["datasets", "D9"]) == 1
-        assert "unknown" in capsys.readouterr().out
+        # diagnostics go to stderr so stdout stays pipeable
+        assert "unknown" in capsys.readouterr().err

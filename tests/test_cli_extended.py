@@ -76,7 +76,8 @@ class TestExportCommand:
 
     def test_no_outputs_fails(self, capsys):
         assert main(["export", "D1"]) == 1
-        assert "nothing to do" in capsys.readouterr().out
+        # diagnostics go to stderr so stdout stays pipeable
+        assert "nothing to do" in capsys.readouterr().err
 
 
 class TestAnalyzeCommand:

@@ -1,0 +1,169 @@
+"""Tests for repro.obs.trace — spans, tracer, exporters, decorator."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    activate_tracer,
+    current_tracer,
+    traced,
+    validate_chrome_trace,
+)
+
+
+class TestSpanNesting:
+    def test_single_span(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        tree = tracer.to_dict()
+        assert len(tree["spans"]) == 1
+        span = tree["spans"][0]
+        assert span["name"] == "work"
+        assert span["duration_s"] >= 0.0
+        assert "children" not in span  # leaf spans omit the empty list
+
+    def test_nested_spans(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner_a"):
+                pass
+            with tracer.span("inner_b"):
+                pass
+        tree = tracer.to_dict()
+        assert [s["name"] for s in tree["spans"]] == ["outer"]
+        children = tree["spans"][0]["children"]
+        assert [c["name"] for c in children] == ["inner_a", "inner_b"]
+
+    def test_attrs_recorded(self):
+        tracer = Tracer()
+        with tracer.span("run", scheme="ASG", k=6):
+            pass
+        span = tracer.to_dict()["spans"][0]
+        assert span["attrs"] == {"scheme": "ASG", "k": 6}
+
+    def test_current_tracks_stack(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("outer"):
+            assert tracer.current.name == "outer"
+            with tracer.span("inner"):
+                assert tracer.current.name == "inner"
+            assert tracer.current.name == "outer"
+        assert tracer.current is None
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        tree = tracer.to_dict()
+        assert tree["spans"][0]["name"] == "failing"
+        assert tracer.current is None
+
+    def test_record_synthetic_span(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            tracer.record("leaf", 0.25, source="timer")
+        child = tracer.to_dict()["spans"][0]["children"][0]
+        assert child["name"] == "leaf"
+        assert child["duration_s"] == pytest.approx(0.25)
+        assert child["attrs"] == {"source": "timer"}
+
+
+class TestChromeExport:
+    def _make(self):
+        tracer = Tracer()
+        with tracer.span("run", scheme="ASG"):
+            with tracer.span("module1"):
+                pass
+            with tracer.span("module2"):
+                pass
+        return tracer
+
+    def test_validates_and_round_trips_json(self):
+        doc = self._make().to_chrome_trace()
+        validate_chrome_trace(doc)
+        reparsed = json.loads(json.dumps(doc))
+        assert reparsed["traceEvents"]
+
+    def test_event_structure(self):
+        doc = self._make().to_chrome_trace(metadata={"run_id": "r1"})
+        events = doc["traceEvents"]
+        complete = [ev for ev in events if ev["ph"] == "X"]
+        assert {ev["name"] for ev in complete} == {"run", "module1", "module2"}
+        run = next(ev for ev in complete if ev["name"] == "run")
+        for child_name in ("module1", "module2"):
+            child = next(ev for ev in complete if ev["name"] == child_name)
+            assert child["ts"] >= run["ts"]
+            assert child["ts"] + child["dur"] <= run["ts"] + run["dur"]
+        assert run["args"] == {"scheme": "ASG"}
+        assert doc["otherData"] == {"run_id": "r1"}
+
+    def test_validate_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"events": []})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": []})
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "Q", "pid": 0, "tid": 0}]}
+            )
+
+
+class TestAmbientTracer:
+    def test_no_tracer_by_default(self):
+        assert current_tracer() is None
+
+    def test_activate_scopes_tracer(self):
+        tracer = Tracer()
+        with activate_tracer(tracer):
+            assert current_tracer() is tracer
+        assert current_tracer() is None
+
+    def test_traced_decorator_noop_without_tracer(self):
+        @traced()
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+
+    def test_traced_decorator_records_span(self):
+        @traced(name="custom", kind="test")
+        def add(a, b):
+            return a + b
+
+        tracer = Tracer()
+        with activate_tracer(tracer):
+            assert add(2, 3) == 5
+        span = tracer.to_dict()["spans"][0]
+        assert span["name"] == "custom"
+        assert span["attrs"] == {"kind": "test"}
+
+
+class TestThreading:
+    def test_spans_from_worker_threads_get_own_lane(self):
+        tracer = Tracer()
+
+        def work():
+            with tracer.span("worker"):
+                pass
+
+        with tracer.span("main"):
+            threads = [threading.Thread(target=work) for __ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        doc = tracer.to_chrome_trace()
+        complete = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+        main_tid = next(ev["tid"] for ev in complete if ev["name"] == "main")
+        worker_tids = {ev["tid"] for ev in complete if ev["name"] == "worker"}
+        assert main_tid not in worker_tids
+        assert len(worker_tids) == 2
+        validate_chrome_trace(doc)

@@ -36,6 +36,7 @@ class TestPublicApi:
             "repro.graph",
             "repro.metrics",
             "repro.network",
+            "repro.obs",
             "repro.pipeline",
             "repro.supergraph",
             "repro.traffic",

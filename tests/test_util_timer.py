@@ -61,3 +61,38 @@ class TestModuleTimer:
         except RuntimeError:
             pass
         assert "failing" in timer.timings
+
+    def test_total_excludes_dotted_subtimings(self):
+        # regression: module2.scan is a breakdown of module2, so total
+        # must not double-count it
+        timer = ModuleTimer()
+        timer.add("module2", 4.0)
+        timer.add("module2.scan", 1.5)
+        timer.add("module2.fits", 2.0)
+        timer.add("module3", 1.0)
+        assert timer.total == 5.0
+        # ... but the breakdown is still recorded individually
+        assert timer.timings["module2.scan"] == 1.5
+
+    def test_spans_mirror_timings_on_ambient_tracer(self):
+        from repro.obs.trace import Tracer, activate_tracer
+
+        tracer = Tracer()
+        with activate_tracer(tracer):
+            timer = ModuleTimer()
+            with timer.time("module2"):
+                with timer.time("module2.scan"):
+                    pass
+            timer.add("imported", 0.125)
+        roots = {s["name"]: s for s in tracer.to_dict()["spans"]}
+        assert set(roots) == {"module2", "imported"}
+        children = [c["name"] for c in roots["module2"].get("children", [])]
+        assert children == ["module2.scan"]
+        assert roots["imported"]["duration_s"] == 0.125
+
+    def test_timer_without_tracer_records_no_spans(self):
+        timer = ModuleTimer()
+        with timer.time("m"):
+            pass
+        assert timer.tracer is None
+        assert timer.timings["m"] >= 0.0
