@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench bench-full bench-hotpaths bench-obs trace-demo examples docs-check all
+.PHONY: install test bench bench-full bench-hotpaths bench-obs bench-compare obs-report trace-demo examples docs-check all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -19,6 +19,16 @@ bench-hotpaths:
 
 bench-obs:
 	pytest benchmarks/test_bench_obs_overhead.py -s
+
+# Gate the newest benchmark runs against benchmarks/results/history.jsonl
+# (exit 1 on regression, 2 when the history is still too short).
+bench-compare:
+	python -m repro bench compare
+
+# Flight-recorder report from the trace-demo artifacts.
+obs-report: trace-demo
+	python -m repro obs report trace.json metrics.json -o report.html
+	@echo "wrote report.html"
 
 # Observed demo run: trace.json opens in https://ui.perfetto.dev,
 # metrics.json holds the counters + run manifest.

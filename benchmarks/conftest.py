@@ -24,6 +24,7 @@ import pytest
 
 from repro.datasets.registry import load_dataset
 from repro.network.dual import build_road_graph
+from repro.obs.bench import append_history
 from repro.obs.manifest import run_manifest
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -58,7 +59,11 @@ def save_results(name: str, payload: Dict) -> Path:
 
     A ``provenance`` run manifest (package versions, platform, git SHA,
     timestamp) is attached so recorded numbers stay comparable across
-    machines and commits.
+    machines and commits, and the numeric surface of the payload is
+    appended to ``benchmarks/results/history.jsonl`` — the trajectory
+    that ``repro-partition bench compare`` gates regressions against.
+    Set ``REPRO_BENCH_HISTORY`` to redirect the history file (the CI
+    gate uses a scratch path), or to ``0`` to skip the append.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"
@@ -66,6 +71,16 @@ def save_results(name: str, payload: Dict) -> Path:
     payload.setdefault("provenance", run_manifest(extra={"bench": name}))
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, default=_jsonify)
+
+    history = os.environ.get("REPRO_BENCH_HISTORY", "")
+    if history != "0":
+        history_path = Path(history) if history else RESULTS_DIR / "history.jsonl"
+        append_history(
+            name,
+            json.loads(json.dumps(payload, default=_jsonify)),
+            path=history_path,
+            manifest=payload["provenance"],
+        )
     return path
 
 

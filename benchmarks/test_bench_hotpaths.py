@@ -129,7 +129,7 @@ def test_bench_hotpaths(synthetic_city):
     new_nd_s, (nd_labels, __) = _timed(assign_to_centers, points, centers)
     assert np.array_equal(nd_labels, ref_d2.argmin(axis=1))
     payload["kmeans_nd_assignment"] = {
-        "broadcast_s": ref_nd_s,
+        "reference_broadcast_s": ref_nd_s,
         "chunked_s": new_nd_s,
         "speedup": ref_nd_s / new_nd_s,
     }
@@ -151,7 +151,7 @@ def test_bench_hotpaths(synthetic_city):
     ref_cut_s, __ = _timed(score_uncached)
     new_cut_s, __ = _timed(score_cached)
     payload["alpha_cut_summary"] = {
-        "per_call_s": ref_cut_s,
+        "reference_per_call_s": ref_cut_s,
         "cached_s": new_cut_s,
         "speedup": ref_cut_s / new_cut_s,
         "k": k,

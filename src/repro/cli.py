@@ -21,6 +21,14 @@ Subcommands
     Partition a dataset and print the management view: per-region
     level-of-service reports, boundary sharpness, and critical
     segments.
+``bench compare``
+    Load the benchmark history (``benchmarks/results/history.jsonl``)
+    and gate the newest run of each benchmark/machine group against
+    its own trajectory; exits non-zero on regression (the CI
+    ``bench-gate`` job runs exactly this).
+``obs report``
+    Merge a run's trace JSON and metrics dump into a self-contained
+    HTML flight-recorder report.
 """
 
 from __future__ import annotations
@@ -141,6 +149,53 @@ def _build_parser() -> argparse.ArgumentParser:
     ana.add_argument("-k", type=int, default=6)
     ana.add_argument("--scheme", choices=SCHEMES, default="ASG")
     ana.add_argument("--seed", type=int, default=0)
+
+    bench = sub.add_parser("bench", help="benchmark trajectory tools")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    cmp_ = bench_sub.add_parser(
+        "compare", help="gate the newest benchmark runs against their history"
+    )
+    cmp_.add_argument(
+        "--history",
+        default=None,
+        help="history JSONL path (default: benchmarks/results/history.jsonl)",
+    )
+    cmp_.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="relative regression band around the baseline (default 0.25)",
+    )
+    cmp_.add_argument(
+        "--window",
+        type=int,
+        default=10,
+        help="baseline uses at most this many prior runs (default 10)",
+    )
+    cmp_.add_argument(
+        "--min-history",
+        type=int,
+        default=3,
+        help="below this many prior runs, gate against the best prior "
+        "value instead of the median (default 3)",
+    )
+    cmp_.add_argument("--bench", default=None, help="restrict to one benchmark name")
+    cmp_.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+    obs = sub.add_parser("obs", help="observability artifact tools")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    rep = obs_sub.add_parser(
+        "report", help="merge trace + metrics into an HTML flight recorder"
+    )
+    rep.add_argument("trace", help="trace JSON path, or '-' when there is none")
+    rep.add_argument(
+        "metrics", nargs="?", default=None,
+        help="metrics dump JSON path (from --metrics-out / write_metrics)",
+    )
+    rep.add_argument("-o", "--out", required=True, help="HTML output path")
+    rep.add_argument("--title", default=None, help="report heading")
     return parser
 
 
@@ -337,6 +392,68 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    """Gate the newest benchmark runs against their history.
+
+    Exit codes: 0 clean, 1 regression(s), 2 nothing to compare.
+    """
+    from repro.obs.bench import DEFAULT_HISTORY, compare_latest, load_history
+
+    history_path = args.history if args.history else DEFAULT_HISTORY
+    records, corrupt = load_history(history_path)
+    if not records:
+        _diag(f"no usable history at {history_path}")
+        return 2
+    try:
+        summary = compare_latest(
+            records,
+            tolerance=args.tolerance,
+            window=args.window,
+            min_history=args.min_history,
+            bench=args.bench,
+        )
+    except ValueError as exc:
+        _diag(str(exc))
+        return 2
+    summary.corrupt_lines = corrupt
+
+    if args.json:
+        print(json.dumps(summary.to_dict(), indent=2, default=str))
+    else:
+        for comparison in summary.comparisons:
+            print(comparison.describe())
+        if summary.skipped_benches:
+            _diag(
+                "skipped (only one run on this machine): "
+                + ", ".join(sorted(set(summary.skipped_benches)))
+            )
+        if corrupt:
+            _diag(f"ignored {corrupt} corrupt history line(s)")
+        print(
+            f"{len(summary.comparisons)} value(s) compared, "
+            f"{len(summary.regressions)} regression(s)"
+        )
+    if not summary.comparisons:
+        _diag("history too short: nothing was comparable yet")
+        return 2
+    return 0 if summary.ok else 1
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import write_report
+
+    trace_path = None if args.trace == "-" else args.trace
+    try:
+        out = write_report(
+            trace_path, args.metrics, args.out, title=args.title
+        )
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        _diag(f"report failed: {exc}")
+        return 1
+    _diag(f"wrote flight-recorder report to {out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -349,6 +466,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "export": _cmd_export,
         "analyze": _cmd_analyze,
+        "bench": _cmd_bench_compare,
+        "obs": _cmd_obs_report,
     }
     return handlers[args.command](args)
 

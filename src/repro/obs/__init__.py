@@ -31,10 +31,35 @@ the hot paths (``incr``, ``set_gauge``, ``observe``, span-aware
 ``ModuleTimer``) resolve the active tracer/registry per call and are a
 single dictionary-free lookup — effectively free — when no
 observability session is active.
+
+On top of the per-run pillars sits the continuous-monitoring layer:
+
+* :mod:`repro.obs.bench` — append-only benchmark history
+  (``benchmarks/results/history.jsonl``) with robust regression
+  gating (``repro-partition bench compare``);
+* :mod:`repro.obs.export` — Prometheus text-format exposition, an
+  opt-in stdlib ``/metrics`` endpoint, and :class:`MonitoringSession`
+  publishing live gauges/histograms from the incremental pipeline;
+* :mod:`repro.obs.report` — per-run flight-recorder HTML reports
+  merging trace, metrics and manifest
+  (``repro-partition obs report``).
 """
 
+from repro.obs.bench import (
+    append_history,
+    compare_latest,
+    load_history,
+    machine_fingerprint,
+)
 from repro.obs.context import ObsContext, observe_run
+from repro.obs.export import (
+    MetricsHTTPServer,
+    MonitoringSession,
+    parse_prometheus,
+    render_prometheus,
+)
 from repro.obs.logs import configure_logging, get_logger, log_context
+from repro.obs.report import flight_recorder_html, write_report
 from repro.obs.manifest import MANIFEST_SCHEMA_VERSION, run_manifest
 from repro.obs.metrics import (
     MetricsRegistry,
@@ -57,6 +82,17 @@ from repro.obs.trace import (
 __all__ = [
     "ObsContext",
     "observe_run",
+    # continuous monitoring layer
+    "append_history",
+    "load_history",
+    "compare_latest",
+    "machine_fingerprint",
+    "render_prometheus",
+    "parse_prometheus",
+    "MetricsHTTPServer",
+    "MonitoringSession",
+    "flight_recorder_html",
+    "write_report",
     "Span",
     "Tracer",
     "activate_tracer",

@@ -114,6 +114,16 @@ class MetricsRegistry:
                 hist = self._histograms[name] = Histogram()
             hist.observe(value)
 
+    def remove_gauge(self, name: str) -> bool:
+        """Drop the gauge ``name`` (True if it existed).
+
+        Gauges keyed by a drifting identity (e.g. per-region density in
+        the incremental pipeline, where the region count changes) need
+        explicit retirement so stale series stop being exported.
+        """
+        with self._lock:
+            return self._gauges.pop(name, None) is not None
+
     # ------------------------------------------------------------------
     # reading
     def counter(self, name: str, default: float = 0.0) -> float:

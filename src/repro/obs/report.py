@@ -1,0 +1,303 @@
+"""Flight-recorder reports: one HTML file per run, everything inlined.
+
+A trace JSON, a metrics dump and a manifest are three files a human
+has to correlate by hand. The flight recorder merges them into a
+single self-contained HTML document — no external scripts, styles or
+images — with:
+
+* a provenance block (run id, git SHA, versions, platform, config,
+  seed) from the run manifest;
+* an inline SVG span timeline (flame chart) rendered with
+  :func:`repro.viz.svg.render_timeline`;
+* counter / gauge / histogram tables from the metrics dump;
+* the Prometheus exposition snapshot of the same metrics, collapsed,
+  so what a scraper would have seen is on record too.
+
+CLI: ``repro-partition obs report trace.json metrics.json -o report.html``
+(the inputs are exactly what ``partition --trace-out/--metrics-out``
+and :class:`repro.obs.ObsContext` write).
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.obs.export import render_prometheus
+
+__all__ = ["flight_recorder_html", "write_report", "trace_bars"]
+
+PathLike = Union[str, Path]
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em auto;
+       max-width: 1000px; color: #1a1a2e; background: #fafafa; }
+h1 { font-size: 1.5em; border-bottom: 2px solid #377eb8; padding-bottom: .3em; }
+h2 { font-size: 1.15em; margin-top: 1.6em; color: #2a4d69; }
+table { border-collapse: collapse; margin: .6em 0; width: 100%; }
+th, td { border: 1px solid #d5d5e0; padding: .3em .6em; text-align: left;
+         font-size: .9em; }
+th { background: #eef2f7; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.provenance { background: #eef2f7; border: 1px solid #d5d5e0; padding: .8em 1em;
+              border-radius: 4px; font-size: .9em; }
+.provenance code { background: #fff; padding: 0 .3em; }
+details { margin: .8em 0; }
+pre { background: #22242e; color: #d8dee9; padding: 1em; overflow-x: auto;
+      border-radius: 4px; font-size: .8em; }
+.svgwrap { overflow-x: auto; background: #fff; border: 1px solid #d5d5e0;
+           border-radius: 4px; padding: .4em; }
+"""
+
+
+# ----------------------------------------------------------------------
+# trace handling — accept both export formats
+def _bars_from_tree(spans: List[Dict], depth: int = 0) -> List[Tuple]:
+    bars: List[Tuple] = []
+    for span in spans:
+        bars.append(
+            (
+                str(span.get("name", "?")),
+                float(span.get("start_s", 0.0)),
+                float(span.get("duration_s", 0.0)),
+                depth,
+            )
+        )
+        bars.extend(_bars_from_tree(span.get("children", []), depth + 1))
+    return bars
+
+
+def _bars_from_chrome(events: List[Dict]) -> List[Tuple]:
+    """Recover nesting depth from flat complete events (per tid)."""
+    bars: List[Tuple] = []
+    complete = [e for e in events if e.get("ph") == "X"]
+    by_tid: Dict[Any, List[Dict]] = {}
+    for event in complete:
+        by_tid.setdefault(event.get("tid", 0), []).append(event)
+    base_depth = 0
+    for tid in sorted(by_tid, key=str):
+        lane = sorted(
+            by_tid[tid],
+            key=lambda e: (float(e.get("ts", 0.0)), -float(e.get("dur", 0.0))),
+        )
+        stack: List[float] = []  # end timestamps of open ancestors
+        deepest = 0
+        for event in lane:
+            ts = float(event.get("ts", 0.0))
+            dur = float(event.get("dur", 0.0))
+            while stack and ts >= stack[-1] - 1e-6:
+                stack.pop()
+            depth = base_depth + len(stack)
+            deepest = max(deepest, len(stack))
+            bars.append((str(event.get("name", "?")), ts / 1e6, dur / 1e6, depth))
+            stack.append(ts + dur)
+        base_depth += deepest + 1  # stack worker-thread lanes below
+    return bars
+
+
+def trace_bars(trace: Optional[Dict[str, Any]]) -> List[Tuple]:
+    """``(name, start_s, duration_s, depth)`` bars from either trace format.
+
+    Accepts the nested-JSON tree (``Tracer.to_dict()``, key ``spans``)
+    or a Chrome trace-event document (``traceEvents``). Returns an
+    empty list for None/empty traces.
+    """
+    if not trace:
+        return []
+    if "spans" in trace:
+        return _bars_from_tree(trace.get("spans") or [])
+    if "traceEvents" in trace:
+        return _bars_from_chrome(trace.get("traceEvents") or [])
+    return []
+
+
+# ----------------------------------------------------------------------
+# HTML assembly
+def _esc(value: Any) -> str:
+    return html.escape(str(value))
+
+
+def _kv_rows(mapping: Dict[str, Any]) -> str:
+    rows = []
+    for key in sorted(mapping):
+        value = mapping[key]
+        if isinstance(value, dict):
+            value = json.dumps(value, sort_keys=True)
+        rows.append(f"<tr><th>{_esc(key)}</th><td>{_esc(value)}</td></tr>")
+    return "\n".join(rows)
+
+
+def _provenance_block(manifest: Dict[str, Any]) -> str:
+    if not manifest:
+        return "<p>(no manifest recorded)</p>"
+    versions = manifest.get("versions") or {}
+    platform = manifest.get("platform") or {}
+    head = (
+        f"<p>run <code>{_esc(manifest.get('run_id', '?'))}</code>"
+        f" · {_esc(manifest.get('created_utc', '?'))}"
+        f" · git <code>{_esc((manifest.get('git_sha') or 'unknown')[:12])}</code>"
+        f" · seed <code>{_esc(manifest.get('seed'))}</code></p>"
+    )
+    facts = {
+        **{f"version.{k}": v for k, v in versions.items()},
+        **{f"platform.{k}": v for k, v in platform.items()},
+    }
+    config = manifest.get("config") or {}
+    config_html = ""
+    if config:
+        config_html = f"<table>{_kv_rows({f'config.{k}': v for k, v in config.items()})}</table>"
+    return (
+        f'<div class="provenance">{head}'
+        f"<table>{_kv_rows(facts)}</table>{config_html}</div>"
+    )
+
+
+def _counters_table(counters: Dict[str, float]) -> str:
+    if not counters:
+        return "<p>(none)</p>"
+    rows = "\n".join(
+        f'<tr><td>{_esc(name)}</td><td class="num">{value:g}</td></tr>'
+        for name, value in sorted(counters.items())
+    )
+    return f"<table><tr><th>counter</th><th>total</th></tr>{rows}</table>"
+
+
+def _gauges_table(gauges: Dict[str, float]) -> str:
+    if not gauges:
+        return "<p>(none)</p>"
+    rows = "\n".join(
+        f'<tr><td>{_esc(name)}</td><td class="num">{value:g}</td></tr>'
+        for name, value in sorted(gauges.items())
+    )
+    return f"<table><tr><th>gauge</th><th>value</th></tr>{rows}</table>"
+
+
+def _histograms_table(histograms: Dict[str, Dict[str, Any]]) -> str:
+    if not histograms:
+        return "<p>(none)</p>"
+    rows = []
+    for name, hist in sorted(histograms.items()):
+        count = hist.get("count", 0)
+        cells = "".join(
+            f'<td class="num">{_fmt_num(hist.get(key))}</td>'
+            for key in ("count", "mean", "min", "max", "sum")
+        )
+        rows.append(f"<tr><td>{_esc(name)}</td>{cells}</tr>")
+    header = (
+        "<tr><th>histogram</th><th>count</th><th>mean</th>"
+        "<th>min</th><th>max</th><th>sum</th></tr>"
+    )
+    return f"<table>{header}{''.join(rows)}</table>"
+
+
+def _fmt_num(value: Any) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return _esc(value)
+
+
+def flight_recorder_html(
+    trace: Optional[Dict[str, Any]] = None,
+    metrics: Optional[Dict[str, Any]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Build the self-contained HTML flight-recorder document.
+
+    Parameters
+    ----------
+    trace:
+        A trace document — nested tree or Chrome trace-event format —
+        or None when the run was not traced.
+    metrics:
+        A metrics dump as written by
+        :meth:`repro.obs.ObsContext.write_metrics` (``run_id`` /
+        ``manifest`` / ``metrics`` keys) or a bare registry snapshot
+        (``counters`` / ``gauges`` / ``histograms``).
+    title:
+        Heading; defaults to the run id.
+    """
+    metrics = metrics or {}
+    if "metrics" in metrics:  # full dump with manifest
+        manifest = metrics.get("manifest") or {}
+        run_id = metrics.get("run_id") or manifest.get("run_id") or "unknown"
+        snapshot = metrics.get("metrics") or {}
+    else:  # bare registry snapshot
+        manifest = {}
+        run_id = "unknown"
+        snapshot = metrics
+    # chrome traces carry identity in otherData; prefer any run id we find
+    if isinstance(trace, dict):
+        other = trace.get("otherData") or {}
+        if run_id == "unknown" and other.get("run_id"):
+            run_id = other["run_id"]
+    heading = title or f"flight recorder · {run_id}"
+
+    bars = trace_bars(trace)
+    if bars:
+        from repro.viz.svg import render_timeline
+
+        timeline = (
+            '<div class="svgwrap">'
+            + render_timeline(bars, title="span timeline")
+            + "</div>"
+        )
+        n_spans = len(bars)
+    else:
+        timeline = "<p>(no trace recorded)</p>"
+        n_spans = 0
+
+    exposition = render_prometheus(snapshot)
+    sections = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_esc(heading)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(heading)}</h1>",
+        "<h2>Provenance</h2>",
+        _provenance_block(manifest),
+        f"<h2>Trace ({n_spans} spans)</h2>",
+        timeline,
+        "<h2>Counters</h2>",
+        _counters_table(snapshot.get("counters") or {}),
+        "<h2>Gauges</h2>",
+        _gauges_table(snapshot.get("gauges") or {}),
+        "<h2>Histograms</h2>",
+        _histograms_table(snapshot.get("histograms") or {}),
+        "<details><summary>Prometheus exposition snapshot</summary>",
+        f"<pre>{_esc(exposition)}</pre></details>",
+        "</body></html>",
+    ]
+    return "\n".join(sections)
+
+
+def write_report(
+    trace_path: Optional[PathLike],
+    metrics_path: Optional[PathLike],
+    out_path: PathLike,
+    title: Optional[str] = None,
+) -> Path:
+    """Read trace/metrics JSON files and write the HTML report.
+
+    Either input may be None (the corresponding section reports
+    "none recorded"); passing both None is rejected — there would be
+    nothing to record.
+    """
+    if trace_path is None and metrics_path is None:
+        raise ValueError("need a trace and/or a metrics file to build a report")
+    trace = None
+    if trace_path is not None:
+        with open(trace_path, "r", encoding="utf-8") as fh:
+            trace = json.load(fh)
+    metrics = None
+    if metrics_path is not None:
+        with open(metrics_path, "r", encoding="utf-8") as fh:
+            metrics = json.load(fh)
+    doc = flight_recorder_html(trace=trace, metrics=metrics, title=title)
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(doc, encoding="utf-8")
+    return out_path

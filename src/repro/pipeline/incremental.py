@@ -20,6 +20,7 @@ which is much cheaper than a global run and embarrassingly parallel.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -28,7 +29,7 @@ import numpy as np
 from repro.exceptions import PartitioningError
 from repro.graph.adjacency import Graph
 from repro.obs.logs import get_logger
-from repro.obs.metrics import incr
+from repro.obs.metrics import incr, observe
 from repro.pipeline.schemes import run_scheme
 from repro.util.rng import RngLike
 
@@ -47,11 +48,27 @@ class UpdateReport:
         Region ids left untouched.
     labels:
         The new global label vector.
+    duration_s:
+        Wall-clock seconds the update took (staleness detection plus
+        any local repartitions).
+    n_relabelled:
+        Number of segments whose region membership actually changed —
+        segments of a refreshed region that was split into more than
+        one part. A refreshed region that came back as a single part,
+        and every kept region, contribute zero: their member sets are
+        intact even though ids are renumbered.
     """
 
     refreshed: List[int]
     kept: List[int]
     labels: np.ndarray
+    duration_s: float = 0.0
+    n_relabelled: int = 0
+
+    @property
+    def n_regions(self) -> int:
+        """Number of regions after the update."""
+        return int(self.labels.max()) + 1 if self.labels.size else 0
 
 
 class IncrementalRepartitioner:
@@ -99,6 +116,16 @@ class IncrementalRepartitioner:
         """Current global label vector (None before bootstrap)."""
         return None if self._labels is None else self._labels.copy()
 
+    @property
+    def graph(self) -> Graph:
+        """The (topology-fixed) road graph being repartitioned."""
+        return self._graph
+
+    @property
+    def k(self) -> int:
+        """The global partition-count target."""
+        return self._k
+
     def bootstrap(self, densities: Sequence[float]) -> np.ndarray:
         """Full global partitioning at the first timestamp."""
         densities = self._check_densities(densities)
@@ -112,6 +139,7 @@ class IncrementalRepartitioner:
         """Refresh only the regions whose congestion changed materially."""
         if self._labels is None:
             raise PartitioningError("call bootstrap() before update()")
+        started = time.perf_counter()
         densities = self._check_densities(densities)
         labels = self._labels
         n_regions = int(labels.max()) + 1
@@ -133,7 +161,15 @@ class IncrementalRepartitioner:
         )
         if not stale:
             self._region_means = new_means
-            return UpdateReport(refreshed=[], kept=list(range(n_regions)), labels=labels.copy())
+            duration = time.perf_counter() - started
+            observe("incremental.update_latency_s", duration)
+            incr("incremental.segments_relabelled", 0)  # keep the series present
+            return UpdateReport(
+                refreshed=[],
+                kept=list(range(n_regions)),
+                labels=labels.copy(),
+                duration_s=duration,
+            )
 
         # repartition each stale region locally; a stale region of
         # size share s gets max(1, round(k * s)) local parts, keeping
@@ -147,6 +183,7 @@ class IncrementalRepartitioner:
                 continue
             id_map[region] = next_id
             next_id += 1
+        n_relabelled = 0
         for region in stale:
             members = np.flatnonzero(labels == region)
             share = members.size / labels.size
@@ -160,6 +197,8 @@ class IncrementalRepartitioner:
                 local = run_scheme(
                     self._scheme, sub, local_k, seed=self._seed
                 ).labels
+            if int(local.max()) > 0:  # actually split: membership churned
+                n_relabelled += int(members.size)
             new_labels[members] = next_id + local
             next_id += int(local.max()) + 1
         for region, mapped in id_map.items():
@@ -167,10 +206,15 @@ class IncrementalRepartitioner:
 
         self._labels = _dense(new_labels)
         self._region_means = self._means(densities, self._labels)
+        duration = time.perf_counter() - started
+        observe("incremental.update_latency_s", duration)
+        incr("incremental.segments_relabelled", n_relabelled)
         return UpdateReport(
             refreshed=stale,
             kept=[r for r in range(n_regions) if r not in stale],
             labels=self._labels.copy(),
+            duration_s=duration,
+            n_relabelled=n_relabelled,
         )
 
     # ------------------------------------------------------------------

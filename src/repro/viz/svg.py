@@ -10,6 +10,7 @@ on top of each other, which is visually correct for city-scale plots.
 from __future__ import annotations
 
 import html
+import zlib
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
@@ -164,6 +165,59 @@ def render_partitions(
             for i in range(min(k, len(PALETTE)))
         ]
     return _svg_document(network, colors, widths, width, height, title, entries)
+
+
+def render_timeline(
+    bars: Sequence[tuple],
+    width: int = 900,
+    row_height: int = 22,
+    title: str = "trace timeline",
+) -> str:
+    """SVG flame-chart of trace spans.
+
+    ``bars`` is a sequence of ``(name, start_s, duration_s, depth)``
+    tuples (what :mod:`repro.obs.report` extracts from a trace); each
+    bar is drawn at its depth row, horizontally scaled to the overall
+    trace extent, coloured from :data:`PALETTE` by name hash so the
+    same module keeps its colour across reports.
+    """
+    if not bars:
+        raise DataError("cannot render an empty timeline")
+    t0 = min(b[1] for b in bars)
+    t1 = max(b[1] + b[2] for b in bars)
+    span = max(t1 - t0, 1e-9)
+    max_depth = max(int(b[3]) for b in bars)
+    margin, label_h = 10, 24
+    height = label_h + (max_depth + 1) * (row_height + 4) + margin
+    scale = (width - 2 * margin) / span
+
+    lines: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f"<title>{html.escape(title)}</title>",
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{margin}" y="16" font-size="13" font-family="sans-serif" '
+        f'font-weight="bold">{html.escape(title)} '
+        f"({span:.3f}s)</text>",
+    ]
+    for name, start, duration, depth in bars:
+        x = margin + (start - t0) * scale
+        w = max(duration * scale, 1.0)
+        y = label_h + int(depth) * (row_height + 4)
+        color = PALETTE[zlib.crc32(str(name).encode("utf-8")) % len(PALETTE)]
+        label = html.escape(f"{name} ({duration:.4f}s)")
+        lines.append(
+            f'<rect x="{x:.2f}" y="{y}" width="{w:.2f}" height="{row_height}" '
+            f'fill="{color}" fill-opacity="0.85" rx="2">'
+            f"<title>{label}</title></rect>"
+        )
+        if w > 60:  # only label bars wide enough to hold text
+            lines.append(
+                f'<text x="{x + 4:.2f}" y="{y + row_height - 7}" font-size="11" '
+                f'font-family="sans-serif" fill="white">{html.escape(str(name))}</text>'
+            )
+    lines.append("</svg>")
+    return "\n".join(lines)
 
 
 def save_svg(svg: str, path: Union[str, Path]) -> Path:

@@ -21,6 +21,7 @@ FAST_EXAMPLES = [
     "osm_import.py",
     "perimeter_control.py",
     "corridor_study.py",
+    "congestion_monitoring.py",
 ]
 
 

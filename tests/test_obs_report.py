@@ -1,0 +1,208 @@
+"""Tests for the flight-recorder HTML report (`repro.obs.report`).
+
+The report is built from a *real* observed run (ObsContext around
+``run_scheme``), not hand-rolled fixtures, so the test breaks if the
+exports and the report drift apart.
+"""
+
+import json
+from html.parser import HTMLParser
+
+import pytest
+
+from repro.cli import main
+from repro.network.dual import build_road_graph
+from repro.network.generators import grid_network
+from repro.obs import ObsContext
+from repro.obs.report import flight_recorder_html, trace_bars, write_report
+from repro.pipeline.schemes import run_scheme
+from repro.traffic.profiles import hotspot_profile
+
+
+@pytest.fixture(scope="module")
+def observed_run(tmp_path_factory):
+    """One real observed run; returns (obs, trace_path, metrics_path)."""
+    out = tmp_path_factory.mktemp("obsrun")
+    network = grid_network(6, 6, two_way=True)
+    graph = build_road_graph(network).with_features(
+        hotspot_profile(network, n_hotspots=2, noise=0.0, seed=0)
+    )
+    obs = ObsContext(dataset="grid6", scheme="ASG")
+    with obs.activate():
+        run_scheme("ASG", graph, 3, seed=0)
+    trace_path = obs.write_trace(out / "trace.json")
+    metrics_path = obs.write_metrics(
+        out / "metrics.json", config={"k": 3, "scheme": "ASG"}, seed=0
+    )
+    return obs, trace_path, metrics_path
+
+
+class _StructureChecker(HTMLParser):
+    """Collects tags and validates basic open/close balance."""
+
+    def __init__(self):
+        super().__init__()
+        self.stack = []
+        self.tags = set()
+        self.errors = []
+
+    VOID = {"meta", "br", "hr", "img", "rect", "line", "input", "link"}
+
+    def handle_starttag(self, tag, attrs):
+        self.tags.add(tag)
+        if tag not in self.VOID:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        if tag in self.VOID:
+            return
+        if not self.stack:
+            self.errors.append(f"closing </{tag}> with empty stack")
+        elif self.stack[-1] == tag:
+            self.stack.pop()
+        elif tag in self.stack:  # self-closing SVG elements parse oddly
+            while self.stack and self.stack[-1] != tag:
+                self.stack.pop()
+            self.stack.pop()
+
+
+class TestTraceBars:
+    def test_nested_tree_depths(self):
+        tree = {
+            "spans": [
+                {
+                    "name": "run",
+                    "start_s": 0.0,
+                    "duration_s": 2.0,
+                    "children": [
+                        {"name": "module1", "start_s": 0.1, "duration_s": 0.5},
+                        {"name": "module2", "start_s": 0.7, "duration_s": 1.0},
+                    ],
+                }
+            ]
+        }
+        bars = trace_bars(tree)
+        assert [(b[0], b[3]) for b in bars] == [
+            ("run", 0), ("module1", 1), ("module2", 1),
+        ]
+
+    def test_chrome_trace_depth_reconstruction(self):
+        doc = {
+            "traceEvents": [
+                {"name": "process_name", "ph": "M", "pid": 1, "tid": 0},
+                {"name": "run", "ph": "X", "ts": 0.0, "dur": 100.0, "pid": 1, "tid": 0},
+                {"name": "inner", "ph": "X", "ts": 10.0, "dur": 20.0, "pid": 1, "tid": 0},
+                {"name": "later", "ph": "X", "ts": 50.0, "dur": 10.0, "pid": 1, "tid": 0},
+            ]
+        }
+        bars = {b[0]: b[3] for b in trace_bars(doc)}
+        assert bars == {"run": 0, "inner": 1, "later": 1}
+
+    def test_empty_or_unknown(self):
+        assert trace_bars(None) == []
+        assert trace_bars({}) == []
+        assert trace_bars({"unknown": 1}) == []
+
+
+class TestFlightRecorderHtml:
+    def test_contains_spans_metrics_and_manifest(self, observed_run):
+        obs, __, __m = observed_run
+        doc = flight_recorder_html(
+            trace=obs.trace_tree(),
+            metrics={
+                "run_id": obs.run_id,
+                "manifest": obs.manifest(config={"k": 3}, seed=0),
+                "metrics": obs.metrics_dict(),
+            },
+        )
+        # trace spans of the real pipeline (a bare run_scheme records
+        # module 2/3; module1 belongs to the framework's dual transform)
+        for span in ("module2", "module2.scan", "module3"):
+            assert span in doc
+        # metric families recorded by the run
+        assert "kappa_scan.candidates" in doc
+        assert "kmeans1d" in doc
+        # manifest fields
+        assert obs.run_id in doc
+        assert "version.numpy" in doc
+        assert "config.k" in doc
+        # inline SVG timeline, self-contained
+        assert "<svg" in doc
+
+    def test_standalone_html(self, observed_run):
+        obs, __, __m = observed_run
+        doc = flight_recorder_html(trace=obs.trace_tree(), metrics=obs.metrics_dict())
+        assert doc.startswith("<!DOCTYPE html>")
+        checker = _StructureChecker()
+        checker.feed(doc)
+        assert not checker.errors, checker.errors
+        assert not checker.stack, f"unclosed tags: {checker.stack}"
+        assert {"html", "head", "body", "style", "table", "svg"} <= checker.tags
+        # self-contained: no external fetches
+        for marker in ("http://", "https://", "<script", "<link"):
+            body = doc.split("</style>", 1)[1]
+            assert marker not in body.replace(
+                "http://www.w3.org/2000/svg", ""  # the SVG xmlns is not a fetch
+            ), marker
+
+    def test_handles_missing_trace(self, observed_run):
+        obs, __, __m = observed_run
+        doc = flight_recorder_html(trace=None, metrics=obs.metrics_dict())
+        assert "no trace recorded" in doc
+
+    def test_prometheus_snapshot_embedded(self, observed_run):
+        obs, __, __m = observed_run
+        doc = flight_recorder_html(metrics=obs.metrics_dict())
+        assert "repro_kappa_scan_candidates_total" in doc
+
+    def test_chrome_trace_run_id_picked_up(self, observed_run):
+        obs, __, __m = observed_run
+        doc = flight_recorder_html(trace=obs.chrome_trace())
+        assert obs.run_id in doc
+
+
+class TestWriteReport:
+    def test_from_export_files(self, observed_run, tmp_path):
+        __, trace_path, metrics_path = observed_run
+        out = write_report(trace_path, metrics_path, tmp_path / "report.html")
+        doc = out.read_text(encoding="utf-8")
+        assert doc.startswith("<!DOCTYPE html>")
+        assert "module2" in doc
+        assert "git" in doc
+
+    def test_both_none_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_report(None, None, tmp_path / "report.html")
+
+
+class TestCli:
+    def test_obs_report_command(self, observed_run, tmp_path, capsys):
+        __, trace_path, metrics_path = observed_run
+        out = tmp_path / "report.html"
+        code = main(
+            ["obs", "report", str(trace_path), str(metrics_path), "-o", str(out)]
+        )
+        assert code == 0
+        doc = out.read_text(encoding="utf-8")
+        assert "module2" in doc
+        result = json.load(open(metrics_path))
+        assert result["run_id"] in doc
+
+    def test_metrics_only_with_dash(self, observed_run, tmp_path):
+        __, __t, metrics_path = observed_run
+        out = tmp_path / "report.html"
+        assert main(["obs", "report", "-", str(metrics_path), "-o", str(out)]) == 0
+        assert "no trace recorded" in out.read_text(encoding="utf-8")
+
+    def test_bad_input_exits_nonzero(self, tmp_path):
+        out = tmp_path / "report.html"
+        assert main(["obs", "report", str(tmp_path / "nope.json"), "-o", str(out)]) == 1
+
+    def test_custom_title(self, observed_run, tmp_path):
+        __, trace_path, metrics_path = observed_run
+        out = tmp_path / "report.html"
+        main([
+            "obs", "report", str(trace_path), str(metrics_path),
+            "-o", str(out), "--title", "night shift run",
+        ])
+        assert "night shift run" in out.read_text(encoding="utf-8")

@@ -111,6 +111,76 @@ class TestUpdate:
         with pytest.raises(PartitioningError):
             IncrementalRepartitioner(graph, k=3, staleness_threshold=-1.0)
 
+    def test_report_carries_wall_time(self, setup):
+        __, graph, base = setup
+        inc = IncrementalRepartitioner(graph, k=4, seed=0)
+        inc.bootstrap(base)
+        report = inc.update(base * 10.0)  # everything stale
+        assert report.duration_s > 0
+        quiet = inc.update(base * 10.0)  # nothing stale
+        assert quiet.duration_s > 0
+        assert quiet.refreshed == []
+
+    def test_no_refresh_means_no_relabelling(self, setup):
+        __, graph, base = setup
+        inc = IncrementalRepartitioner(graph, k=4, seed=0)
+        inc.bootstrap(base)
+        report = inc.update(base)
+        assert report.n_relabelled == 0
+
+    def test_split_region_counts_relabelled_segments(self, setup):
+        __, graph, base = setup
+        # k=5/seed=0 bootstraps an uneven partitioning whose largest
+        # region splits locally when its congestion quadruples
+        inc = IncrementalRepartitioner(graph, k=5, staleness_threshold=0.25, seed=0)
+        labels = inc.bootstrap(base)
+        sizes = np.bincount(labels)
+        big = int(sizes.argmax())
+        changed = base.copy()
+        changed[labels == big] *= 4.0
+        report = inc.update(changed)
+        assert big in report.refreshed
+        assert report.n_relabelled >= int(sizes[big])
+        assert report.n_relabelled <= int(sizes[report.refreshed].sum())
+
+    def test_unsplit_refresh_counts_zero_relabelled(self, setup):
+        __, graph, base = setup
+        inc = IncrementalRepartitioner(graph, k=4, staleness_threshold=0.25, seed=0)
+        labels = inc.bootstrap(base)
+        changed = base.copy()
+        changed[labels == 0] *= 4.0
+        report = inc.update(changed)
+        # region 0 is ~1/4 of the grid: its local refresh yields a
+        # single part, so membership does not churn
+        if report.refreshed == [0] and report.n_regions == 4:
+            assert report.n_relabelled == 0
+
+    def test_n_regions_property(self, setup):
+        __, graph, base = setup
+        inc = IncrementalRepartitioner(graph, k=4, seed=0)
+        inc.bootstrap(base)
+        report = inc.update(base)
+        assert report.n_regions == int(report.labels.max()) + 1
+
+    def test_graph_and_k_accessors(self, setup):
+        __, graph, __base = setup
+        inc = IncrementalRepartitioner(graph, k=4, seed=0)
+        assert inc.graph is graph
+        assert inc.k == 4
+
+    def test_update_metrics_recorded(self, setup):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        __, graph, base = setup
+        inc = IncrementalRepartitioner(graph, k=4, seed=0)
+        inc.bootstrap(base)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            inc.update(base * 10.0)
+        snapshot = registry.to_dict()
+        assert snapshot["histograms"]["incremental.update_latency_s"]["count"] == 1
+        assert "incremental.segments_relabelled" in snapshot["counters"]
+
     def test_repeated_updates_remain_consistent(self, setup):
         __, graph, base = setup
         rng = np.random.default_rng(0)
