@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench bench-full bench-hotpaths bench-obs bench-compare obs-report trace-demo examples docs-check all
+.PHONY: install test bench bench-full bench-hotpaths bench-obs bench-compare obs-report trace-demo profile-demo examples docs-check all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -36,6 +36,13 @@ trace-demo:
 	python -m repro --log-level info partition D1 -k 6 --json \
 		--trace-out trace.json --metrics-out metrics.json > result.json
 	@echo "wrote result.json, trace.json, metrics.json"
+
+# Profiled demo run: the full artifact set in profdir/ — open
+# profile.speedscope.json at https://www.speedscope.app, or just
+# report.html for the inline flame graph.
+profile-demo:
+	python -m repro obs profile D1 -k 6 --memory --out-dir profdir
+	@echo "open profdir/report.html (or load profdir/profile.speedscope.json at speedscope.app)"
 
 examples:
 	@for script in examples/*.py; do \

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 import os
+import tracemalloc
 from pathlib import Path
 from typing import Dict, List
 
@@ -26,6 +27,7 @@ from repro.datasets.registry import load_dataset
 from repro.network.dual import build_road_graph
 from repro.obs.bench import append_history
 from repro.obs.manifest import run_manifest
+from repro.obs.profile import process_max_rss_bytes
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -64,11 +66,22 @@ def save_results(name: str, payload: Dict) -> Path:
     that ``repro-partition bench compare`` gates regressions against.
     Set ``REPRO_BENCH_HISTORY`` to redirect the history file (the CI
     gate uses a scratch path), or to ``0`` to skip the append.
+
+    Memory footprint rides along: every record gets the process's
+    ``max_rss_bytes`` high-water mark (and ``peak_alloc_bytes`` when
+    tracemalloc is tracing), which ``bench compare`` gates as
+    lower-is-better — a benchmark that starts holding 3x the memory
+    fails CI even when its timings are flat.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"
     payload = dict(payload)
     payload.setdefault("provenance", run_manifest(extra={"bench": name}))
+    rss = process_max_rss_bytes()
+    if rss is not None:
+        payload.setdefault("max_rss_bytes", rss)
+    if tracemalloc.is_tracing():
+        payload.setdefault("peak_alloc_bytes", tracemalloc.get_traced_memory()[1])
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, default=_jsonify)
 

@@ -27,8 +27,19 @@ Subcommands
     its own trajectory; exits non-zero on regression (the CI
     ``bench-gate`` job runs exactly this).
 ``obs report``
-    Merge a run's trace JSON and metrics dump into a self-contained
-    HTML flight-recorder report.
+    Merge a run's trace JSON, metrics dump and (optionally) its
+    speedscope profile into a self-contained HTML flight-recorder
+    report with an inline flame graph.
+``obs profile``
+    Run a partition under the sampling profiler and emit the full
+    artifact set — trace, metrics, speedscope JSON, collapsed stacks
+    and the flight-recorder report — into one directory.
+``obs diff``
+    Rank frame-level CPU deltas between two speedscope profiles
+    (before/after a change).
+
+``partition`` also accepts ``--profile-out`` / ``--profile-hz`` /
+``--profile-memory`` to profile any normal run in place.
 """
 
 from __future__ import annotations
@@ -103,6 +114,24 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the run's metrics dump (counters, gauges, histograms "
         "plus the run manifest) to this JSON path",
+    )
+    part.add_argument(
+        "--profile-out",
+        default=None,
+        help="sample the run with the CPU profiler and write a "
+        "speedscope-JSON profile to this path (open at speedscope.app)",
+    )
+    part.add_argument(
+        "--profile-hz",
+        type=float,
+        default=97.0,
+        help="profiler sampling frequency in Hz (default 97)",
+    )
+    part.add_argument(
+        "--profile-memory",
+        action="store_true",
+        help="also track allocations with tracemalloc (per-span "
+        "alloc_bytes deltas; adds noticeable overhead)",
     )
 
     data = sub.add_parser("datasets", help="list built-in datasets")
@@ -196,6 +225,52 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     rep.add_argument("-o", "--out", required=True, help="HTML output path")
     rep.add_argument("--title", default=None, help="report heading")
+    rep.add_argument(
+        "--profile",
+        default=None,
+        help="speedscope profile JSON (from --profile-out / obs profile); "
+        "adds the CPU flame-graph pane",
+    )
+
+    prof = obs_sub.add_parser(
+        "profile",
+        help="run a partition under the sampling profiler and emit "
+        "trace/metrics/profile/report artifacts",
+    )
+    prof.add_argument(
+        "dataset",
+        help=f"built-in dataset name ({', '.join(dataset_names())}) "
+        "or path to a network JSON file",
+    )
+    prof.add_argument("-k", type=int, default=6, help="number of partitions")
+    prof.add_argument(
+        "--scheme", choices=SCHEMES, default="ASG", help="partitioning scheme"
+    )
+    prof.add_argument("--seed", type=int, default=0, help="random seed")
+    prof.add_argument(
+        "--hz", type=float, default=97.0,
+        help="profiler sampling frequency in Hz (default 97)",
+    )
+    prof.add_argument(
+        "--memory",
+        action="store_true",
+        help="also track allocations with tracemalloc",
+    )
+    prof.add_argument(
+        "--out-dir",
+        required=True,
+        help="directory for the artifact set (trace.json, metrics.json, "
+        "profile.speedscope.json, profile.collapsed.txt, report.html)",
+    )
+
+    pdiff = obs_sub.add_parser(
+        "diff", help="rank frame-level CPU deltas between two profiles"
+    )
+    pdiff.add_argument("base", help="baseline speedscope profile JSON")
+    pdiff.add_argument("new", help="new speedscope profile JSON")
+    pdiff.add_argument(
+        "--top", type=int, default=20, help="rows to print (default 20)"
+    )
     return parser
 
 
@@ -207,8 +282,17 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         densities = network.densities()
 
     obs = None
-    if args.trace_out or args.metrics_out:
-        obs = ObsContext(dataset=args.dataset, scheme=args.scheme)
+    if args.trace_out or args.metrics_out or args.profile_out:
+        profile = None
+        if args.profile_out:
+            from repro.obs.profile import ProfileConfig
+
+            profile = ProfileConfig(
+                hz=args.profile_hz, memory=args.profile_memory
+            )
+        obs = ObsContext(
+            dataset=args.dataset, scheme=args.scheme, profile=profile
+        )
 
     framework = SpatialPartitioningFramework(
         k=args.k,
@@ -234,6 +318,9 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
         _diag(f"wrote metrics to {args.metrics_out}")
+    if obs is not None and args.profile_out:
+        obs.write_profile(args.profile_out)
+        _diag(f"wrote profile to {args.profile_out}")
 
     if args.json:
         payload = {
@@ -445,13 +532,96 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     trace_path = None if args.trace == "-" else args.trace
     try:
         out = write_report(
-            trace_path, args.metrics, args.out, title=args.title
+            trace_path,
+            args.metrics,
+            args.out,
+            title=args.title,
+            profile_path=args.profile,
         )
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         _diag(f"report failed: {exc}")
         return 1
     _diag(f"wrote flight-recorder report to {out}")
     return 0
+
+
+def _cmd_obs_profile(args: argparse.Namespace) -> int:
+    """Profile one partition run and emit the full artifact set."""
+    from pathlib import Path
+
+    from repro.obs.profile import ProfileConfig
+    from repro.obs.report import write_report
+
+    if args.dataset in dataset_names():
+        network, densities = load_dataset(args.dataset, seed=args.seed)
+    else:
+        network = load_network_json(args.dataset)
+        densities = network.densities()
+
+    obs = ObsContext(
+        dataset=args.dataset,
+        scheme=args.scheme,
+        profile=ProfileConfig(hz=args.hz, memory=args.memory),
+    )
+    framework = SpatialPartitioningFramework(
+        k=args.k, scheme=args.scheme, seed=args.seed, obs=obs
+    )
+    framework.partition(network, densities)
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace_path = obs.write_trace(out_dir / "trace.json")
+    metrics_path = obs.write_metrics(
+        out_dir / "metrics.json",
+        config=framework.config_dict(),
+        seed=args.seed,
+    )
+    profile_path = obs.write_profile(out_dir / "profile.speedscope.json")
+    collapsed_path = obs.write_collapsed(out_dir / "profile.collapsed.txt")
+    report_path = write_report(
+        trace_path,
+        metrics_path,
+        out_dir / "report.html",
+        profile_path=profile_path,
+    )
+    n_samples = obs.profiler.n_samples if obs.profiler is not None else 0
+    for path in (
+        trace_path, metrics_path, profile_path, collapsed_path, report_path
+    ):
+        _diag(f"wrote {path}")
+    print(
+        f"profiled {args.dataset} {args.scheme} k={args.k}: "
+        f"{n_samples} samples -> {out_dir}"
+    )
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    """Print frame-level CPU deltas between two speedscope profiles."""
+    from repro.obs.profile import diff_profiles, render_diff, validate_speedscope
+
+    docs = []
+    for path in (args.base, args.new):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            validate_speedscope(doc)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            _diag(f"cannot read profile {path}: {exc}")
+            return 1
+        docs.append(doc)
+    rows = diff_profiles(docs[0], docs[1])
+    print(render_diff(rows, top=args.top))
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    handlers = {
+        "report": _cmd_obs_report,
+        "profile": _cmd_obs_profile,
+        "diff": _cmd_obs_diff,
+    }
+    return handlers[args.obs_command](args)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -467,7 +637,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "export": _cmd_export,
         "analyze": _cmd_analyze,
         "bench": _cmd_bench_compare,
-        "obs": _cmd_obs_report,
+        "obs": _cmd_obs,
     }
     return handlers[args.command](args)
 

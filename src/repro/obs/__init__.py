@@ -14,7 +14,13 @@ and work go. This package provides the four pillars:
 * :mod:`repro.obs.logs` — structured logging on top of stdlib
   :mod:`logging` with a run-scoped context (run id, dataset, scheme);
 * :mod:`repro.obs.manifest` — reproducibility manifests (config,
-  seed, package versions, platform, git SHA, timestamp).
+  seed, package versions, platform, git SHA, timestamp, argv and
+  every ``REPRO_*`` environment knob);
+* :mod:`repro.obs.profile` — the deep-profiling pillar: a sampling
+  CPU profiler attributing stacks to the innermost open span,
+  tracemalloc-based per-span allocation deltas, FlameGraph
+  collapsed-stack and speedscope-JSON exports (with strict
+  validators), profile diffs and process-wide memory/GC gauges.
 
 :class:`repro.obs.ObsContext` bundles all four for one pipeline run::
 
@@ -41,8 +47,9 @@ On top of the per-run pillars sits the continuous-monitoring layer:
   opt-in stdlib ``/metrics`` endpoint, and :class:`MonitoringSession`
   publishing live gauges/histograms from the incremental pipeline;
 * :mod:`repro.obs.report` — per-run flight-recorder HTML reports
-  merging trace, metrics and manifest
-  (``repro-partition obs report``).
+  merging trace, metrics, manifest and (when profiled) an inline
+  SVG flame graph (``repro-partition obs report``); the whole
+  profiling artifact set is one ``repro-partition obs profile`` away.
 """
 
 from repro.obs.bench import (
@@ -61,6 +68,15 @@ from repro.obs.export import (
 from repro.obs.logs import configure_logging, get_logger, log_context
 from repro.obs.report import flight_recorder_html, write_report
 from repro.obs.manifest import MANIFEST_SCHEMA_VERSION, run_manifest
+from repro.obs.profile import (
+    ProfileConfig,
+    Profiler,
+    diff_profiles,
+    parse_collapsed,
+    render_collapsed,
+    sample_process_gauges,
+    validate_speedscope,
+)
 from repro.obs.metrics import (
     MetricsRegistry,
     current_registry,
@@ -93,6 +109,14 @@ __all__ = [
     "MonitoringSession",
     "flight_recorder_html",
     "write_report",
+    # deep profiling
+    "ProfileConfig",
+    "Profiler",
+    "validate_speedscope",
+    "render_collapsed",
+    "parse_collapsed",
+    "diff_profiles",
+    "sample_process_gauges",
     "Span",
     "Tracer",
     "activate_tracer",

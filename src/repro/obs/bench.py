@@ -17,7 +17,9 @@ history:
   **best** previous value, which is the sane default for the first few
   commits of a trajectory;
 * only keys whose *direction* is known are gated: dotted keys ending
-  in ``_s`` / ``_seconds`` / ``_ms`` (wall times, lower is better) and
+  in ``_s`` / ``_seconds`` / ``_ms`` (wall times, lower is better),
+  memory footprints such as ``max_rss_bytes`` / ``peak_alloc_bytes``
+  (``*_bytes`` with an rss/alloc/mem marker, lower is better), and
   keys containing ``speedup`` (higher is better). Everything else is
   carried in the record for inspection but never gates.
 
@@ -62,6 +64,9 @@ PathLike = Union[str, Path]
 
 # direction suffixes: lower-is-better wall times ...
 _TIME_SUFFIXES = ("_s", "seconds", "_ms")
+# ... lower-is-better memory footprints (max_rss_bytes, peak_alloc_bytes
+# and friends — attached by benchmarks/conftest.save_results) ...
+_MEMORY_MARKERS = ("rss", "alloc", "mem")
 # ... and higher-is-better ratios.
 _HIGHER_MARKERS = ("speedup",)
 
@@ -123,6 +128,8 @@ def value_direction(key: str) -> Optional[str]:
     if any(marker in leaf for marker in _HIGHER_MARKERS):
         return "higher"
     if leaf.endswith(_TIME_SUFFIXES) or "time" in leaf or "duration" in leaf:
+        return "lower"
+    if leaf.endswith("_bytes") and any(m in leaf for m in _MEMORY_MARKERS):
         return "lower"
     return None
 

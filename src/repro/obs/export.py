@@ -387,6 +387,12 @@ class MetricsHTTPServer:
     namespace, extra_labels:
         Forwarded to :func:`render_prometheus` when ``source`` is a
         registry.
+    process_gauges:
+        When ``source`` is a registry, refresh the process-level
+        gauges (``process.rss_bytes``, ``process.threads``,
+        ``process.gc_collections[gen=N]`` — see
+        :func:`repro.obs.profile.sample_process_gauges`) before every
+        render so each scrape sees current values. Default True.
     """
 
     def __init__(
@@ -396,11 +402,16 @@ class MetricsHTTPServer:
         port: int = 0,
         namespace: str = "repro",
         extra_labels: Optional[Labels] = None,
+        process_gauges: bool = True,
     ) -> None:
         if isinstance(source, MetricsRegistry):
             registry = source
 
             def render() -> str:
+                if process_gauges:
+                    from repro.obs.profile import sample_process_gauges
+
+                    sample_process_gauges(registry)
                 return render_prometheus(
                     registry, namespace=namespace, extra_labels=extra_labels
                 )
@@ -489,7 +500,11 @@ class MonitoringSession:
       density gauges (capped at ``max_region_gauges`` regions);
     * ``quality.ans`` / ``quality.gdbi`` / ``quality.max_conductance``
       — partition quality of the current labelling (computed from
-      :mod:`repro.metrics` when ``quality=True``).
+      :mod:`repro.metrics` when ``quality=True``);
+    * ``process.rss_bytes`` / ``process.threads`` /
+      ``process.gc_collections[gen=N]`` — process-level resource
+      gauges, refreshed on every scrape (see
+      :func:`repro.obs.profile.sample_process_gauges`).
 
     Updates also run under the session's :class:`ObsContext`, so span
     traces accumulate for the flight-recorder report
@@ -553,7 +568,16 @@ class MonitoringSession:
         return report
 
     def scrape(self) -> str:
-        """Current exposition text (what the endpoint would serve)."""
+        """Current exposition text (what the endpoint would serve).
+
+        Refreshes the process-level gauges (RSS, thread count, GC
+        collections per generation) first, so every scrape reports the
+        service's current resource footprint alongside the pipeline
+        metrics.
+        """
+        from repro.obs.profile import sample_process_gauges
+
+        sample_process_gauges(self.registry)
         return render_prometheus(
             self.registry, extra_labels={"run_id": self.obs.run_id}
         )

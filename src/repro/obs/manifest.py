@@ -135,9 +135,23 @@ def run_manifest(
     dict
         JSON-serialisable manifest with ``schema_version``,
         ``created_utc``, ``run_id``, ``seed``, ``config``,
-        ``versions``, ``platform``, ``git_sha`` and ``env`` keys.
+        ``versions``, ``platform``, ``git_sha``, ``argv`` and ``env``
+        keys. ``env`` holds **every** ``REPRO_*`` environment knob set
+        at manifest time (plus the always-present worker/scale keys),
+        and ``argv`` the full command line — together they make a
+        recorded profile or benchmark re-runnable from the manifest
+        alone.
     """
     env = _environment()
+    # the two historical knobs are always present (None when unset) so
+    # consumers can rely on the keys; any other REPRO_* knob rides along
+    env_knobs: Dict[str, Optional[str]] = {
+        "REPRO_NUM_WORKERS": os.environ.get("REPRO_NUM_WORKERS") or None,
+        "REPRO_FULL_SCALE": os.environ.get("REPRO_FULL_SCALE") or None,
+    }
+    for key in sorted(os.environ):
+        if key.startswith("REPRO_") and key not in env_knobs:
+            env_knobs[key] = os.environ[key]
     manifest: Dict[str, Any] = {
         "schema_version": MANIFEST_SCHEMA_VERSION,
         "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -147,10 +161,8 @@ def run_manifest(
         "versions": dict(env["versions"]),
         "platform": dict(env["platform"]),
         "git_sha": _git_sha(),
-        "env": {
-            "REPRO_NUM_WORKERS": os.environ.get("REPRO_NUM_WORKERS") or None,
-            "REPRO_FULL_SCALE": os.environ.get("REPRO_FULL_SCALE") or None,
-        },
+        "argv": list(sys.argv),
+        "env": env_knobs,
     }
     if extra:
         manifest.update(extra)

@@ -31,6 +31,7 @@ from repro.network.dual import build_road_graph
 from repro.network.model import RoadNetwork
 from repro.obs.context import ObsContext
 from repro.obs.logs import get_logger
+from repro.obs.profile import ProfileConfig
 from repro.obs.manifest import run_manifest
 from repro.pipeline.results import PartitioningResult
 from repro.pipeline.schemes import SCHEMES, run_scheme
@@ -72,6 +73,14 @@ class SpatialPartitioningFramework:
         spans land on ``obs.tracer``, algorithm counters on
         ``obs.metrics``, and log records carry the run id. When
         omitted the instrumentation is a no-op.
+    profile:
+        Optional :class:`repro.obs.profile.ProfileConfig`. When given,
+        runs execute under the sampling CPU / memory profiler: a fresh
+        :class:`ObsContext` is created when ``obs`` is omitted,
+        otherwise profiling is enabled on the passed context. Spans
+        then carry ``cpu_self_s`` / ``cpu_total_s`` (and
+        ``alloc_bytes`` with memory tracking) attributes, and the
+        profile is exportable via ``framework.obs.write_profile``.
 
     Examples
     --------
@@ -96,6 +105,7 @@ class SpatialPartitioningFramework:
         seed: RngLike = None,
         workers: Optional[int] = None,
         obs: Optional[ObsContext] = None,
+        profile: Optional[ProfileConfig] = None,
     ) -> None:
         if k < 1:
             raise PartitioningError(f"k must be positive, got {k}")
@@ -113,6 +123,11 @@ class SpatialPartitioningFramework:
         self._sample_size = sample_size
         self._seed = seed
         self._workers = workers
+        if profile is not None:
+            if obs is None:
+                obs = ObsContext(profile=profile)
+            else:
+                obs.enable_profiling(profile)
         self._obs = obs
         self.last_road_graph: Optional[Graph] = None
 

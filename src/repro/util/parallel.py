@@ -25,8 +25,11 @@ each worker invocation, so instrumentation inside ``fn`` — e.g. the
 k-means iteration counters — records into the caller's registry.
 When metrics are enabled, each map reports item counts, the resolved
 worker count, per-item wall times and the pool utilization
-(busy time / (wall time * workers)). Process-mode workers run in
-separate interpreters; metrics recorded there stay there.
+(busy time / (wall time * workers)). Worker threads are named
+``repro-worker-N``, so the sampling profiler
+(:mod:`repro.obs.profile`) reports their stacks as distinct lanes.
+Process-mode workers run in separate interpreters; metrics recorded
+there stay there.
 """
 
 from __future__ import annotations
@@ -150,7 +153,11 @@ def _map_threaded(
                 registry.observe("parallel.item_seconds", elapsed)
 
     start = time.perf_counter()
-    with ThreadPoolExecutor(max_workers=count) as pool:
+    # the name prefix makes worker threads identifiable in sampling
+    # profiles (repro.obs.profile groups stacks by thread name)
+    with ThreadPoolExecutor(
+        max_workers=count, thread_name_prefix="repro-worker"
+    ) as pool:
         results = list(pool.map(run, contexts, work))
     if registry is not None:
         wall = time.perf_counter() - start
