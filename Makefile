@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench bench-full bench-hotpaths bench-obs bench-compare obs-report trace-demo profile-demo examples docs-check all
+.PHONY: install test bench bench-full bench-hotpaths bench-obs bench-scaling bench-scaling-full bench-compare obs-report trace-demo profile-demo examples docs-check all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -19,6 +19,14 @@ bench-hotpaths:
 
 bench-obs:
 	pytest benchmarks/test_bench_obs_overhead.py -s
+
+# Multiprocess scaling curve (1/2/4/8 workers, shared-memory shards);
+# the full-scale variant runs the ~1M-segment metropolis.
+bench-scaling:
+	pytest benchmarks/test_bench_scaling.py -s
+
+bench-scaling-full:
+	REPRO_FULL_SCALE=1 pytest benchmarks/test_bench_scaling.py -s
 
 # Gate the newest benchmark runs against benchmarks/results/history.jsonl
 # (exit 1 on regression, 2 when the history is still too short).

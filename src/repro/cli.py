@@ -60,6 +60,7 @@ from repro.obs.logs import LOG_LEVELS, configure_logging
 from repro.pipeline.framework import SpatialPartitioningFramework
 from repro.pipeline.schemes import SCHEMES, run_scheme
 from repro.traffic.simulator import MicroSimulator
+from repro.util.parallel import PARALLEL_MODES
 
 
 def _diag(message: str) -> None:
@@ -96,6 +97,29 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="supernode stability threshold epsilon_eta in [0, 1]",
+    )
+    part.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for the parallel mining loops (0 = all "
+        "cores; default: the REPRO_NUM_WORKERS env var, serial when "
+        "unset)",
+    )
+    part.add_argument(
+        "--parallel-mode",
+        choices=PARALLEL_MODES,
+        default=None,
+        help="worker execution mode (default: the REPRO_PARALLEL_MODE "
+        "env var, thread when unset; process escapes the GIL)",
+    )
+    part.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="mine this many geographic shards in parallel and stitch "
+        "the boundaries (supergraph schemes only; 1 = whole-graph "
+        "serial builder)",
     )
     part.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
@@ -299,6 +323,9 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         scheme=args.scheme,
         epsilon_eta=args.stability,
         seed=args.seed,
+        workers=args.workers,
+        parallel_mode=args.parallel_mode,
+        n_shards=args.shards,
         obs=obs,
     )
     result = framework.partition(network, densities)

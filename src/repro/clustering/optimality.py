@@ -33,7 +33,6 @@ returns every kappa whose MCG clears the optimality threshold
 
 from __future__ import annotations
 
-import functools
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -44,6 +43,7 @@ from repro.exceptions import ClusteringError
 from repro.obs.metrics import incr, set_gauge
 from repro.util.parallel import map_parallel
 from repro.util.rng import RngLike, ensure_rng
+from repro.util.shm import ShardContext, active_shard
 from repro.util.timer import ModuleTimer
 
 
@@ -207,15 +207,18 @@ class KappaScan:
         return self.shortlist(fraction * self.best_mcg)
 
 
-def _fit_and_score(
-    scan_data: np.ndarray, sorted_data: np.ndarray, kappa: int
-) -> Tuple[KMeansResult, float]:
+def _fit_and_score(kappa: int) -> Tuple[KMeansResult, float]:
     """One kappa of the scan: fit (sharing the sort) and score MCG.
 
-    Module-level so it stays picklable for process-based
-    :func:`repro.util.parallel.map_parallel` execution.
+    Reads the scan data from the ambient
+    :class:`repro.util.shm.ShardContext` instead of closing over it —
+    in process mode the arrays arrive through shared memory (zero
+    pickling per task), in serial/thread mode they are the caller's
+    own arrays. Module-level so it stays picklable.
     """
-    result = kmeans_1d(scan_data, kappa, presorted=sorted_data)
+    ctx = active_shard()
+    scan_data = ctx.get("scan.values")
+    result = kmeans_1d(scan_data, kappa, presorted=ctx.get("scan.sorted"))
     return result, moderated_clustering_gain(scan_data, result.labels)
 
 
@@ -226,6 +229,7 @@ def scan_kappa(
     sample_size: Optional[int] = None,
     seed: RngLike = None,
     workers: Optional[int] = None,
+    parallel_mode: Optional[str] = None,
     timer: Optional[ModuleTimer] = None,
 ) -> KappaScan:
     """Run 1-D k-means for each kappa and record the MCG curve.
@@ -233,7 +237,9 @@ def scan_kappa(
     The scan sorts the (sampled) density vector once and shares it
     across every ``kmeans_1d`` fit; the per-kappa fits are independent
     and run through :func:`repro.util.parallel.map_parallel`, so the
-    curve is identical for every worker count.
+    curve is identical for every worker count and execution mode (in
+    process mode the density vector travels through shared memory, not
+    per-task pickles).
 
     Parameters
     ----------
@@ -253,6 +259,10 @@ def scan_kappa(
     workers:
         Worker count for the per-kappa fits; ``None`` defers to the
         ``REPRO_NUM_WORKERS`` environment variable (serial when unset).
+    parallel_mode:
+        ``"serial"``/``"thread"``/``"process"``; ``None`` defers to the
+        ``REPRO_PARALLEL_MODE`` environment variable (thread when
+        unset).
     timer:
         Optional :class:`ModuleTimer` receiving the ``module2.scan``
         timing.
@@ -284,12 +294,18 @@ def scan_kappa(
     own_timer = timer if timer is not None else ModuleTimer()
     scan = KappaScan(sampled=sampled)
     with own_timer.time("module2.scan"):
-        sorted_data = np.sort(scan_data, kind="stable")
         kappas = list(range(kappa_min, kappa_max + 1))
-        fit = functools.partial(_fit_and_score, scan_data, sorted_data)
-        for kappa, (result, mcg) in zip(
-            kappas, map_parallel(fit, kappas, workers=workers)
-        ):
+        with ShardContext() as shard:
+            shard.put("scan.values", scan_data)
+            shard.put("scan.sorted", np.sort(scan_data, kind="stable"))
+            outcomes = map_parallel(
+                _fit_and_score,
+                kappas,
+                workers=workers,
+                mode=parallel_mode,
+                shard=shard,
+            )
+        for kappa, (result, mcg) in zip(kappas, outcomes):
             scan.kappas.append(kappa)
             scan.mcg.append(mcg)
             scan.results.append(result)
@@ -308,6 +324,7 @@ def shortlist_kappa(
     sample_size: Optional[int] = None,
     seed: RngLike = None,
     workers: Optional[int] = None,
+    parallel_mode: Optional[str] = None,
     timer: Optional[ModuleTimer] = None,
 ) -> Tuple[List[int], KappaScan]:
     """Scan kappa and shortlist values clearing the MCG threshold.
@@ -315,7 +332,8 @@ def shortlist_kappa(
     When ``epsilon_theta`` (the paper's absolute threshold) is not
     given, the scale-free ``epsilon_fraction`` of the maximum MCG is
     used instead. Always returns at least the best kappa.
-    ``workers``/``timer`` are forwarded to :func:`scan_kappa`.
+    ``workers``/``parallel_mode``/``timer`` are forwarded to
+    :func:`scan_kappa`.
     """
     scan = scan_kappa(
         values,
@@ -323,6 +341,7 @@ def shortlist_kappa(
         sample_size=sample_size,
         seed=seed,
         workers=workers,
+        parallel_mode=parallel_mode,
         timer=timer,
     )
     if epsilon_theta is not None:

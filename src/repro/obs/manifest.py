@@ -113,6 +113,7 @@ def run_manifest(
     seed: Any = None,
     run_id: Optional[str] = None,
     extra: Optional[Dict[str, Any]] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Build a reproducibility manifest for one run.
 
@@ -129,6 +130,12 @@ def run_manifest(
         fresh one is generated when omitted.
     extra:
         Additional top-level fields (e.g. dataset name).
+    workers:
+        The run's requested worker count (``None``/``0`` included);
+        the manifest records both the request and the **resolved**
+        count (``workers_resolved``) — ``workers=0`` means "all
+        cores", so the resolved number is what actually ran and what a
+        reproduction on different hardware needs to know.
 
     Returns
     -------
@@ -147,11 +154,23 @@ def run_manifest(
     # consumers can rely on the keys; any other REPRO_* knob rides along
     env_knobs: Dict[str, Optional[str]] = {
         "REPRO_NUM_WORKERS": os.environ.get("REPRO_NUM_WORKERS") or None,
+        "REPRO_PARALLEL_MODE": os.environ.get("REPRO_PARALLEL_MODE") or None,
         "REPRO_FULL_SCALE": os.environ.get("REPRO_FULL_SCALE") or None,
     }
     for key in sorted(os.environ):
         if key.startswith("REPRO_") and key not in env_knobs:
             env_knobs[key] = os.environ[key]
+
+    # the resolved count is what actually ran (argument wins over the
+    # env var, 0 expands to the core count); resolution failures must
+    # not take down manifest creation, so fall back to the raw value
+    try:
+        from repro.util.parallel import resolve_workers
+
+        workers_resolved: Optional[int] = resolve_workers(workers)
+    except Exception:  # pragma: no cover - invalid knob at manifest time
+        workers_resolved = None
+
     manifest: Dict[str, Any] = {
         "schema_version": MANIFEST_SCHEMA_VERSION,
         "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -163,6 +182,8 @@ def run_manifest(
         "git_sha": _git_sha(),
         "argv": list(sys.argv),
         "env": env_knobs,
+        "workers_requested": workers,
+        "workers_resolved": workers_resolved,
     }
     if extra:
         manifest.update(extra)

@@ -65,8 +65,19 @@ class SpatialPartitioningFramework:
     workers:
         Worker count for the parallel supergraph-mining loops;
         ``None`` defers to the ``REPRO_NUM_WORKERS`` environment
-        variable (serial when unset). Results are identical for
-        every worker count.
+        variable (serial when unset), ``0`` means one worker per
+        core. Results are identical for every worker count.
+    parallel_mode:
+        ``"serial"``/``"thread"``/``"process"``; ``None`` defers to
+        the ``REPRO_PARALLEL_MODE`` environment variable (thread when
+        unset). Process mode escapes the GIL — pair it with
+        ``n_shards`` for city-scale networks.
+    n_shards:
+        When given, supergraph schemes mine geographic shards in
+        separate workers and stitch the boundaries (see
+        :class:`repro.shard.ShardedSupergraphBuilder`); ``partition``
+        derives the spatial split from the network's segment
+        midpoints. ``None`` keeps the whole-graph builder.
     obs:
         Optional :class:`repro.obs.ObsContext`. When given, every
         ``partition`` call runs inside the context — hierarchical
@@ -104,6 +115,8 @@ class SpatialPartitioningFramework:
         sample_size: Optional[int] = None,
         seed: RngLike = None,
         workers: Optional[int] = None,
+        parallel_mode: Optional[str] = None,
+        n_shards: Optional[int] = None,
         obs: Optional[ObsContext] = None,
         profile: Optional[ProfileConfig] = None,
     ) -> None:
@@ -123,6 +136,8 @@ class SpatialPartitioningFramework:
         self._sample_size = sample_size
         self._seed = seed
         self._workers = workers
+        self._parallel_mode = parallel_mode
+        self._n_shards = n_shards
         if profile is not None:
             if obs is None:
                 obs = ObsContext(profile=profile)
@@ -147,6 +162,8 @@ class SpatialPartitioningFramework:
             "kappa_max": self._kappa_max,
             "sample_size": self._sample_size,
             "workers": self._workers,
+            "parallel_mode": self._parallel_mode,
+            "n_shards": self._n_shards,
         }
 
     def partition(
@@ -190,7 +207,12 @@ class SpatialPartitioningFramework:
                     if densities is not None:
                         road_graph = road_graph.with_features(densities)
                 self.last_road_graph = road_graph
-                result = self._run(road_graph, timer)
+                shard_points = None
+                if self._n_shards is not None and self._n_shards != 1:
+                    from repro.shard.spatial import segment_midpoints
+
+                    shard_points = segment_midpoints(network)
+                result = self._run(road_graph, timer, shard_points=shard_points)
                 logger.info(
                     "run finished: k=%d in %.3fs (%s)",
                     result.k,
@@ -222,7 +244,12 @@ class SpatialPartitioningFramework:
                 result = self._run(road_graph, ModuleTimer())
         return result
 
-    def _run(self, road_graph: Graph, timer: ModuleTimer) -> PartitioningResult:
+    def _run(
+        self,
+        road_graph: Graph,
+        timer: ModuleTimer,
+        shard_points: Optional[np.ndarray] = None,
+    ) -> PartitioningResult:
         result = run_scheme(
             self._scheme,
             road_graph,
@@ -235,11 +262,15 @@ class SpatialPartitioningFramework:
             seed=self._seed,
             timer=timer,
             workers=self._workers,
+            parallel_mode=self._parallel_mode,
+            n_shards=self._n_shards,
+            shard_points=shard_points,
         )
         result.timings = timer.timings
         result.manifest = run_manifest(
             config=self.config_dict(),
             seed=self._seed,
             run_id=self._obs.run_id if self._obs is not None else None,
+            workers=self._workers,
         )
         return result

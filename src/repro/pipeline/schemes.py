@@ -29,6 +29,7 @@ from repro.graph.affinity import congestion_affinity
 from repro.obs.logs import get_logger
 from repro.obs.metrics import set_gauge
 from repro.pipeline.results import PartitioningResult
+from repro.shard.pipeline import ShardedSupergraphBuilder
 from repro.supergraph.builder import SupergraphBuilder
 from repro.util.rng import RngLike, ensure_rng
 from repro.util.timer import ModuleTimer
@@ -52,6 +53,9 @@ def run_scheme(
     seed: RngLike = None,
     timer: Optional[ModuleTimer] = None,
     workers: Optional[int] = None,
+    parallel_mode: Optional[str] = None,
+    n_shards: Optional[int] = None,
+    shard_points: Optional[np.ndarray] = None,
 ) -> PartitioningResult:
     """Run one evaluation scheme on a road graph.
 
@@ -81,6 +85,20 @@ def run_scheme(
         Worker count for the parallel supergraph-mining loops;
         ``None`` defers to the ``REPRO_NUM_WORKERS`` environment
         variable (serial when unset).
+    parallel_mode:
+        ``"serial"``/``"thread"``/``"process"``; ``None`` defers to
+        the ``REPRO_PARALLEL_MODE`` environment variable (thread when
+        unset).
+    n_shards:
+        When given, supergraph schemes mine the graph through
+        :class:`repro.shard.ShardedSupergraphBuilder` — geographic
+        shards in separate workers, stitched at the boundaries
+        (``n_shards=1`` delegates to the serial builder, so it is
+        always safe to pass). Direct schemes ignore it.
+    shard_points:
+        Optional ``(n, 2)`` node coordinates for the spatial sharder
+        (see :func:`repro.shard.segment_midpoints`); ignored without
+        ``n_shards``.
 
     Returns
     -------
@@ -113,19 +131,37 @@ def run_scheme(
             labels = JiGeroliminisPartitioner(k, seed=rng).partition(road_graph)
     else:  # ASG / NSG
         with own_timer.time("module2"):
-            builder = SupergraphBuilder(
-                epsilon_theta=epsilon_theta,
-                epsilon_fraction=epsilon_fraction,
-                epsilon_eta=epsilon_eta,
-                kappa_max=kappa_max,
-                sample_size=sample_size,
-                superlink_mode=superlink_mode,
-                kmeans_method=kmeans_method,
-                seed=rng,
-                workers=workers,
-                timer=own_timer,
-            )
-            supergraph = builder.build(road_graph)
+            if n_shards is not None:
+                sharded = ShardedSupergraphBuilder(
+                    n_shards=n_shards,
+                    epsilon_theta=epsilon_theta,
+                    epsilon_fraction=epsilon_fraction,
+                    epsilon_eta=epsilon_eta,
+                    kappa_max=kappa_max,
+                    sample_size=sample_size,
+                    superlink_mode=superlink_mode,
+                    kmeans_method=kmeans_method,
+                    seed=rng,
+                    workers=workers,
+                    parallel_mode=parallel_mode,
+                    timer=own_timer,
+                )
+                supergraph = sharded.build(road_graph, points=shard_points)
+            else:
+                builder = SupergraphBuilder(
+                    epsilon_theta=epsilon_theta,
+                    epsilon_fraction=epsilon_fraction,
+                    epsilon_eta=epsilon_eta,
+                    kappa_max=kappa_max,
+                    sample_size=sample_size,
+                    superlink_mode=superlink_mode,
+                    kmeans_method=kmeans_method,
+                    seed=rng,
+                    workers=workers,
+                    parallel_mode=parallel_mode,
+                    timer=own_timer,
+                )
+                supergraph = builder.build(road_graph)
             n_supernodes = supergraph.n_supernodes
         with own_timer.time("module3"):
             if supergraph.n_supernodes <= k:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -34,30 +34,34 @@ from repro.supergraph.superlink import superlink_weights
 from repro.supergraph.supernode import create_supernodes
 from repro.util.parallel import map_parallel
 from repro.util.rng import RngLike
+from repro.util.shm import ShardContext, active_shard
 from repro.util.timer import ModuleTimer
 
 logger = get_logger("supergraph.builder")
 
 
-def _fit_and_count(
-    cluster_1d: Callable[..., KMeansResult],
-    features: np.ndarray,
-    sorted_features: Optional[np.ndarray],
-    adjacency,
-    kappa: int,
-) -> Tuple[KMeansResult, int]:
+def _fit_and_count(kmeans_method: str, kappa: int) -> Tuple[KMeansResult, int]:
     """One shortlist candidate: full-data fit + supernode count.
 
-    Module-level so it stays picklable for process-based
-    :func:`repro.util.parallel.map_parallel` execution. The shared
-    ``sorted_features`` fast path only applies to the seeded-Lloyd
-    ``kmeans_1d`` (the exact-DP variant sorts internally).
+    The density vector, its shared sort, and the CSR adjacency arrive
+    through the ambient :class:`repro.util.shm.ShardContext` — shared
+    memory in process mode, the caller's own arrays otherwise — so a
+    city-scale adjacency is never pickled per task. The shared-sort
+    fast path only applies to the seeded-Lloyd ``kmeans_1d`` (the
+    exact-DP variant sorts internally). Module-level so it stays
+    picklable.
     """
-    if sorted_features is not None:
-        result = cluster_1d(features, kappa, presorted=sorted_features)
+    ctx = active_shard()
+    features = ctx.get("builder.features")
+    if kmeans_method == "optimal":
+        from repro.clustering.optimal1d import kmeans_1d_optimal
+
+        result = kmeans_1d_optimal(features, kappa)
     else:
-        result = cluster_1d(features, kappa)
-    count = count_constrained_components(adjacency, result.labels)
+        result = kmeans_1d(features, kappa, presorted=ctx.get("builder.sorted"))
+    count = count_constrained_components(
+        ctx.get_csr("builder.adjacency"), result.labels
+    )
     return result, count
 
 
@@ -123,6 +127,11 @@ class SupergraphBuilder:
         refits (both embarrassingly parallel); ``None`` defers to the
         ``REPRO_NUM_WORKERS`` environment variable (serial when
         unset). The build result is identical for every worker count.
+    parallel_mode:
+        ``"serial"``/``"thread"``/``"process"``; ``None`` defers to the
+        ``REPRO_PARALLEL_MODE`` environment variable (thread when
+        unset). Process mode escapes the GIL; inputs travel through
+        shared memory, so the result is mode-independent too.
     timer:
         Optional :class:`ModuleTimer` receiving fine-grained
         ``module2.*`` timings (scan, shortlist fits, supernodes,
@@ -140,6 +149,7 @@ class SupergraphBuilder:
         kmeans_method: str = "lloyd",
         seed: RngLike = None,
         workers: Optional[int] = None,
+        parallel_mode: Optional[str] = None,
         timer: Optional[ModuleTimer] = None,
     ) -> None:
         if not 0.0 <= epsilon_eta <= 1.0:
@@ -157,6 +167,7 @@ class SupergraphBuilder:
         self._kmeans_method = kmeans_method
         self._seed = seed
         self._workers = workers
+        self._parallel_mode = parallel_mode
         self._timer = timer
         self.report: Optional[SupergraphBuildReport] = None
 
@@ -178,25 +189,27 @@ class SupergraphBuilder:
             sample_size=self._sample_size,
             seed=self._seed,
             workers=self._workers,
+            parallel_mode=self._parallel_mode,
             timer=timer,
         )
-
-        if self._kmeans_method == "optimal":
-            from repro.clustering.optimal1d import kmeans_1d_optimal as cluster_1d
-
-            sorted_features = None
-        else:
-            cluster_1d = kmeans_1d
-            sorted_features = np.sort(features, kind="stable")
 
         # Step 2: pick the configuration with the fewest supernodes.
         # The shortlist fits are independent; map_parallel keeps their
         # order, so the strict-< selection below is deterministic.
         with timer.time("module2.shortlist_fits"):
-            fit = functools.partial(
-                _fit_and_count, cluster_1d, features, sorted_features, adjacency
-            )
-            outcomes = map_parallel(fit, shortlisted, workers=self._workers)
+            with ShardContext() as shard:
+                shard.put("builder.features", features)
+                if self._kmeans_method != "optimal":
+                    shard.put("builder.sorted", np.sort(features, kind="stable"))
+                shard.put_csr("builder.adjacency", adjacency)
+                fit = functools.partial(_fit_and_count, self._kmeans_method)
+                outcomes = map_parallel(
+                    fit,
+                    shortlisted,
+                    workers=self._workers,
+                    mode=self._parallel_mode,
+                    shard=shard,
+                )
         incr("supergraph.shortlist_fits", len(shortlisted))
         best_kappa = -1
         best_count = None
@@ -271,6 +284,7 @@ def build_supergraph(
     sample_size: Optional[int] = None,
     seed: RngLike = None,
     workers: Optional[int] = None,
+    parallel_mode: Optional[str] = None,
 ) -> Supergraph:
     """One-shot convenience wrapper around :class:`SupergraphBuilder`."""
     builder = SupergraphBuilder(
@@ -281,5 +295,6 @@ def build_supergraph(
         sample_size=sample_size,
         seed=seed,
         workers=workers,
+        parallel_mode=parallel_mode,
     )
     return builder.build(road_graph)

@@ -2,12 +2,13 @@
 
 The partitioning pipeline has several embarrassingly parallel loops —
 the per-kappa k-means fits of Algorithm 1's scan, the shortlist
-refits in :class:`repro.supergraph.SupergraphBuilder` — whose items
+refits in :class:`repro.supergraph.SupergraphBuilder`, the per-shard
+mining of :class:`repro.shard.ShardedSupergraphBuilder` — whose items
 are completely independent. :func:`map_parallel` runs such loops over
 a worker pool while guaranteeing **deterministic, input-ordered
 results**: the output list always satisfies ``out[i] == fn(items[i])``
-regardless of worker count, so parallelism can never change what the
-pipeline computes (only how fast).
+regardless of worker count or execution mode, so parallelism can never
+change what the pipeline computes (only how fast).
 
 Worker-count resolution, in priority order:
 
@@ -15,33 +16,52 @@ Worker-count resolution, in priority order:
 2. the ``REPRO_NUM_WORKERS`` environment variable;
 3. serial execution (``1``).
 
-``workers=1`` (the default when neither is set) takes a plain-loop
-fast path with no executor overhead, which keeps single-core
-environments and tests free of thread/process machinery.
+``0`` (argument or environment) means "use every core" —
+``os.cpu_count()``. ``workers=1`` (the default when neither is set)
+takes a plain-loop fast path with no executor overhead, which keeps
+single-core environments and tests free of thread/process machinery.
 
-Observability: thread-mode maps propagate the caller's context
-(ambient tracer / metrics registry / log fields are contextvars) into
-each worker invocation, so instrumentation inside ``fn`` — e.g. the
-k-means iteration counters — records into the caller's registry.
-When metrics are enabled, each map reports item counts, the resolved
-worker count, per-item wall times and the pool utilization
-(busy time / (wall time * workers)). Worker threads are named
-``repro-worker-N``, so the sampling profiler
-(:mod:`repro.obs.profile`) reports their stacks as distinct lanes.
-Process-mode workers run in separate interpreters; metrics recorded
-there stay there.
+Execution-mode resolution mirrors the worker count: the explicit
+``mode`` argument, then the ``REPRO_PARALLEL_MODE`` environment
+variable, then ``"thread"``. Modes:
+
+* ``"serial"`` — plain loop in the calling thread, no pool at all;
+* ``"thread"`` — :class:`~concurrent.futures.ThreadPoolExecutor`;
+  zero pickling constraints, effective when ``fn`` releases the GIL
+  (BLAS, I/O), and the caller's ambient observability context
+  (tracer / metrics / log fields are contextvars) propagates into
+  every worker invocation;
+* ``"process"`` — :class:`~concurrent.futures.ProcessPoolExecutor`;
+  escapes the GIL for pure-Python CPU-bound work. Workers run a pool
+  initializer that re-establishes the observability context (log
+  level, shared-array shard), record metrics into a worker-side
+  registry, and ship the per-item metric deltas back with each result
+  so the caller's :class:`~repro.obs.metrics.MetricsRegistry` sees
+  exactly what thread mode would have recorded.
+
+Large read-only inputs should travel through a
+:class:`repro.util.shm.ShardContext` (the ``shard`` argument) instead
+of being pickled into every task: the context's arrays are registered
+once, materialised into ``multiprocessing.shared_memory`` blocks on
+the first process-mode map, and attached zero-copy by every worker.
+In serial/thread mode the same :func:`repro.util.shm.active_shard`
+accessor hands back the original arrays, so one ``fn`` serves all
+modes.
 """
 
 from __future__ import annotations
 
 import contextvars
+import functools
+import logging
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, List, Optional, TypeVar
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, TypeVar
 
 from repro.exceptions import ReproError
-from repro.obs.metrics import current_registry
+from repro.obs.metrics import MetricsRegistry, current_registry, use_registry
+from repro.util import shm
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -49,7 +69,13 @@ R = TypeVar("R")
 #: Environment variable consulted when no explicit worker count is given.
 WORKERS_ENV_VAR = "REPRO_NUM_WORKERS"
 
-_MODES = ("thread", "process")
+#: Environment variable consulted when no explicit mode is given.
+PARALLEL_MODE_ENV_VAR = "REPRO_PARALLEL_MODE"
+
+#: Valid execution modes, least to most isolated.
+PARALLEL_MODES = ("serial", "thread", "process")
+
+_MODES = PARALLEL_MODES  # backwards-compatible alias
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -60,7 +86,9 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     workers:
         Explicit worker count; ``None`` falls back to the
         ``REPRO_NUM_WORKERS`` environment variable, and to ``1``
-        (serial) when that is unset or empty.
+        (serial) when that is unset or empty. ``0`` — explicit or via
+        the environment — means "one worker per core"
+        (``os.cpu_count()``).
     """
     if workers is None:
         env = os.environ.get(WORKERS_ENV_VAR, "").strip()
@@ -71,16 +99,35 @@ def resolve_workers(workers: Optional[int] = None) -> int:
         count = int(workers)
     except (TypeError, ValueError):
         raise ReproError(f"worker count must be an integer, got {workers!r}") from None
-    if count < 1:
-        raise ReproError(f"worker count must be >= 1, got {count}")
+    if count == 0:
+        return os.cpu_count() or 1
+    if count < 0:
+        raise ReproError(f"worker count must be >= 0, got {count}")
     return count
+
+
+def resolve_parallel_mode(mode: Optional[str] = None) -> str:
+    """Resolve the execution mode (one of :data:`PARALLEL_MODES`).
+
+    ``None`` falls back to the ``REPRO_PARALLEL_MODE`` environment
+    variable, then to ``"thread"``.
+    """
+    if mode is None:
+        mode = os.environ.get(PARALLEL_MODE_ENV_VAR, "").strip() or "thread"
+    mode = str(mode).lower()
+    if mode not in PARALLEL_MODES:
+        raise ReproError(
+            f"parallel mode must be one of {PARALLEL_MODES}, got {mode!r}"
+        )
+    return mode
 
 
 def map_parallel(
     fn: Callable[[T], R],
     items: Iterable[T],
     workers: Optional[int] = None,
-    mode: str = "thread",
+    mode: Optional[str] = None,
+    shard: Optional[shm.ShardContext] = None,
 ) -> List[R]:
     """``[fn(item) for item in items]`` over a worker pool, order preserved.
 
@@ -88,7 +135,8 @@ def map_parallel(
     ----------
     fn:
         The per-item function. Must be picklable (module-level) when
-        ``mode="process"``; any callable works with threads.
+        the resolved mode is ``"process"``; any callable works with
+        threads.
     items:
         The work items; consumed eagerly so the item count is known.
     workers:
@@ -96,21 +144,29 @@ def map_parallel(
         count at 1 (or fewer than 2 items) the map runs serially in
         the calling thread.
     mode:
-        ``"thread"`` (default) uses a :class:`ThreadPoolExecutor` —
-        zero pickling constraints, effective when ``fn`` releases the
-        GIL (BLAS, I/O); ``"process"`` uses a
-        :class:`ProcessPoolExecutor` for pure-Python CPU-bound work.
+        Execution mode; see :func:`resolve_parallel_mode`. ``"serial"``
+        forces a plain loop regardless of the worker count.
+    shard:
+        Optional :class:`repro.util.shm.ShardContext` of named arrays
+        ``fn`` reads through :func:`repro.util.shm.active_shard`. In
+        process mode the arrays are shared zero-copy via
+        ``multiprocessing.shared_memory``; in serial/thread mode the
+        originals are handed through untouched. The caller owns the
+        context's lifecycle (use a ``with`` block so the blocks are
+        unlinked even on error).
 
     Returns
     -------
     list
-        Results in input order — identical for every worker count.
-        The first exception raised by ``fn`` propagates to the caller.
+        Results in input order — identical for every worker count and
+        mode. The first exception raised by ``fn`` propagates to the
+        caller.
     """
-    if mode not in _MODES:
-        raise ReproError(f"mode must be one of {_MODES}, got {mode!r}")
+    mode = resolve_parallel_mode(mode)
     work = list(items)
     count = min(resolve_workers(workers), max(len(work), 1))
+    if mode == "serial":
+        count = 1
     registry = current_registry()
     if registry is not None:
         registry.inc("parallel.maps")
@@ -118,12 +174,14 @@ def map_parallel(
         registry.set_gauge("parallel.workers", count)
 
     if count <= 1 or len(work) < 2:
+        if shard is not None:
+            with shm.use_shard(shard):
+                return [fn(item) for item in work]
         return [fn(item) for item in work]
 
     if mode == "thread":
-        return _map_threaded(fn, work, count, registry)
-    with ProcessPoolExecutor(max_workers=count) as pool:
-        return list(pool.map(fn, work))
+        return _map_threaded(fn, work, count, registry, shard)
+    return _map_process(fn, work, count, registry, shard)
 
 
 def _map_threaded(
@@ -131,12 +189,19 @@ def _map_threaded(
     work: List[T],
     count: int,
     registry,
+    shard: Optional[shm.ShardContext],
 ) -> List[R]:
     """Thread-pool map with context propagation and utilization metrics."""
     # one context copy per item: each carries the caller's ambient
-    # tracer/metrics/log-context into the worker thread (a Context can
-    # only be entered once, hence per-item copies)
-    contexts = [contextvars.copy_context() for __ in work]
+    # tracer/metrics/log-context — and the shard, installed below —
+    # into the worker thread (a Context can only be entered once,
+    # hence per-item copies)
+    token = shm._ACTIVE_SHARD.set(shard) if shard is not None else None
+    try:
+        contexts = [contextvars.copy_context() for __ in work]
+    finally:
+        if token is not None:
+            shm._ACTIVE_SHARD.reset(token)
 
     if registry is None:
         run = lambda ctx, item: ctx.run(fn, item)  # noqa: E731
@@ -163,5 +228,84 @@ def _map_threaded(
         wall = time.perf_counter() - start
         # share of the pool's capacity spent inside fn during this map
         utilization = min(1.0, sum(busy) / (wall * count)) if wall > 0 else 1.0
+        registry.set_gauge("parallel.utilization", utilization)
+    return results
+
+
+# ----------------------------------------------------------------------
+# process backend
+def _current_log_level() -> Optional[str]:
+    """The repro root logger's effective level name, if standard."""
+    level = logging.getLogger("repro").getEffectiveLevel()
+    name = logging.getLevelName(level)
+    return name.lower() if isinstance(name, str) and name.isalpha() else None
+
+
+def _worker_init(descriptor: Optional[Dict[str, Any]], log_level: Optional[str]) -> None:
+    """Pool initializer: re-establish the observability context.
+
+    Runs once per worker process. Re-applies the parent's log level
+    (inherited automatically under ``fork`` but lost under ``spawn``)
+    and attaches the shared-memory shard, if any, as the process-global
+    ambient shard.
+    """
+    if log_level is not None:
+        from repro.obs.logs import LOG_LEVELS, configure_logging
+
+        if log_level in LOG_LEVELS:
+            configure_logging(level=log_level)
+    if descriptor is not None:
+        shm.set_worker_shard(shm.ShardContext.attach(descriptor))
+
+
+def _process_task(
+    fn: Callable[[T], R], collect_metrics: bool, item: T
+) -> Tuple[R, Optional[Dict[str, Any]], float]:
+    """One process-pool task: run ``fn`` under a worker-side registry.
+
+    Returns ``(result, metrics_snapshot_or_None, elapsed_seconds)`` —
+    the per-item metric delta the caller merges back, so nothing
+    recorded inside ``fn`` is lost at the interpreter boundary.
+    """
+    t0 = time.perf_counter()
+    if not collect_metrics:
+        return fn(item), None, time.perf_counter() - t0
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        result = fn(item)
+    snapshot = registry.to_dict() if len(registry) else None
+    return result, snapshot, time.perf_counter() - t0
+
+
+def _map_process(
+    fn: Callable[[T], R],
+    work: List[T],
+    count: int,
+    registry,
+    shard: Optional[shm.ShardContext],
+) -> List[R]:
+    """Process-pool map: shared-memory inputs, metric deltas merged back."""
+    descriptor = shard.share() if shard is not None else None
+    task = functools.partial(_process_task, fn, registry is not None)
+    start = time.perf_counter()
+    with ProcessPoolExecutor(
+        max_workers=count,
+        initializer=_worker_init,
+        initargs=(descriptor, _current_log_level()),
+    ) as pool:
+        outcomes = list(pool.map(task, work))
+    results: List[R] = []
+    busy = 0.0
+    # merge in input order so gauge last-write-wins is deterministic
+    for result, snapshot, elapsed in outcomes:
+        if registry is not None:
+            if snapshot is not None:
+                registry.merge_snapshot(snapshot)
+            registry.observe("parallel.item_seconds", elapsed)
+            busy += elapsed
+        results.append(result)
+    if registry is not None:
+        wall = time.perf_counter() - start
+        utilization = min(1.0, busy / (wall * count)) if wall > 0 else 1.0
         registry.set_gauge("parallel.utilization", utilization)
     return results

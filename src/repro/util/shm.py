@@ -1,0 +1,303 @@
+"""Shared-memory numpy arrays for the multiprocess data plane.
+
+Process pools escape the GIL, but naive ``ProcessPoolExecutor`` usage
+pickles every closed-over array into every task — at city scale that
+means shipping a 500k-element density vector (or a multi-million-entry
+CSR adjacency) through a pipe once per work item. :class:`ShardContext`
+removes that cost: the owner registers named numpy arrays (and CSR
+matrices) once, :meth:`ShardContext.share` materialises them into
+:class:`multiprocessing.shared_memory.SharedMemory` blocks, and worker
+processes attach **zero-copy views** of the same physical pages.
+
+Usage pattern (the one :func:`repro.util.parallel.map_parallel`
+implements)::
+
+    with ShardContext() as ctx:
+        ctx.put("features", features)
+        ctx.put_csr("adjacency", road_graph.adjacency)
+        results = map_parallel(fn, items, mode="process", shard=ctx)
+    # blocks are unlinked here — on success, exception or Ctrl-C
+
+Inside ``fn`` (any mode — serial, thread or process)::
+
+    def fn(item):
+        ctx = active_shard()
+        features = ctx.get("features")       # zero-copy in every mode
+        adjacency = ctx.get_csr("adjacency")
+        ...
+
+Lifecycle rules:
+
+* the **owner** (the process that called ``put``) is the only one that
+  unlinks; leaving the ``with`` block — normally, via an exception, or
+  via ``KeyboardInterrupt`` — frees every block exactly once;
+* **workers** only ever attach and close; attached blocks are
+  unregistered from the ``resource_tracker`` so the owner's unlink
+  stays the single point of truth (no double-unlink warnings);
+* in serial/thread mode ``get`` returns the registered array itself —
+  no shared-memory block is ever created unless :meth:`share` runs, so
+  the default single-process path pays nothing.
+
+Platform note: on Linux the blocks live in ``/dev/shm``; macOS and
+Windows use ``spawn`` as the default start method, where workers
+re-import the library — everything here is spawn-safe because workers
+receive a plain-dict descriptor and re-attach by name (see
+``docs/scaling.md`` for the caveats).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from multiprocessing import shared_memory
+from typing import Any, Dict, Iterator, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "ShardContext",
+    "active_shard",
+    "use_shard",
+    "set_worker_shard",
+]
+
+
+def _attach_block(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing shared-memory block without tracking it.
+
+    On 3.13+ ``track=False`` skips resource-tracker registration
+    outright. Earlier interpreters register the attach, but pool
+    workers share the owner's tracker process and its cache is a set,
+    so the extra registration is idempotent and the owner's unlink
+    remains the single point that clears it — crucially the worker
+    must NOT unregister, or it would race the owner's entry away.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # 3.13+
+    except TypeError:  # pragma: no cover - interpreter-version dependent
+        return shared_memory.SharedMemory(name=name)
+
+
+class ShardContext:
+    """A named set of arrays shareable with worker processes zero-copy.
+
+    The context is cheap until :meth:`share` is called: ``put`` only
+    records a reference, and ``get`` returns the original array, so
+    serial and thread-mode maps use the exact same code path as
+    process-mode workers with no copies and no kernel objects.
+
+    Parameters
+    ----------
+    None. Construct, ``put`` arrays, and either use as a context
+    manager (recommended — guarantees unlink) or call
+    :meth:`close` + :meth:`unlink` manually.
+    """
+
+    def __init__(self) -> None:
+        self._arrays: Dict[str, np.ndarray] = {}
+        self._csr_shapes: Dict[str, tuple] = {}
+        self._blocks: Dict[str, shared_memory.SharedMemory] = {}
+        self._owner = True
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # registration (owner side)
+    def put(self, name: str, array: Any) -> None:
+        """Register ``array`` under ``name`` (contiguous, owner side)."""
+        if not self._owner:
+            raise ReproError("cannot put() into an attached ShardContext")
+        if self._blocks:
+            raise ReproError("cannot put() after share(); register arrays first")
+        arr = np.ascontiguousarray(array)
+        if arr.size == 0:
+            # SharedMemory rejects zero-byte blocks; keep a private copy
+            arr = arr.copy()
+        self._arrays[name] = arr
+
+    def put_csr(self, name: str, matrix) -> None:
+        """Register a CSR matrix as three arrays plus its shape."""
+        csr = sp.csr_matrix(matrix)
+        self._csr_shapes[name] = tuple(int(s) for s in csr.shape)
+        self.put(f"{name}.data", csr.data)
+        self.put(f"{name}.indices", csr.indices)
+        self.put(f"{name}.indptr", csr.indptr)
+
+    # ------------------------------------------------------------------
+    # access (both sides)
+    def has(self, name: str) -> bool:
+        """True when ``name`` is registered (array or CSR)."""
+        return name in self._arrays or name in self._csr_shapes
+
+    def get(self, name: str) -> np.ndarray:
+        """The array registered under ``name`` (zero-copy view)."""
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise ReproError(f"no shared array named {name!r}") from None
+
+    def get_csr(self, name: str) -> sp.csr_matrix:
+        """Reconstruct the CSR matrix registered under ``name``."""
+        if name not in self._csr_shapes:
+            raise ReproError(f"no shared CSR matrix named {name!r}")
+        csr = sp.csr_matrix(
+            (
+                self.get(f"{name}.data"),
+                self.get(f"{name}.indices"),
+                self.get(f"{name}.indptr"),
+            ),
+            shape=self._csr_shapes[name],
+            copy=False,
+        )
+        return csr
+
+    def names(self) -> List[str]:
+        """All registered array names (CSR matrices appear as ``name.*``)."""
+        return sorted(self._arrays)
+
+    def block_names(self) -> List[str]:
+        """OS-level shared-memory block names currently materialised."""
+        return sorted(shm.name for shm in self._blocks.values())
+
+    # ------------------------------------------------------------------
+    # sharing (owner side)
+    def share(self) -> Dict[str, Any]:
+        """Materialise shared-memory blocks and return the descriptor.
+
+        Idempotent: repeated calls reuse the blocks created first.
+        The descriptor is a plain JSON-able dict that workers pass to
+        :meth:`attach` (via the pool initializer).
+        """
+        if not self._owner:
+            raise ReproError("attached ShardContext cannot share()")
+        if self._closed:
+            raise ReproError("ShardContext already closed")
+        for name, arr in self._arrays.items():
+            if name in self._blocks:
+                continue
+            block = shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 1))
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=block.buf)
+            view[...] = arr
+            self._blocks[name] = block
+            # the owner itself reads from the block from now on, so
+            # worker writes (there are none by convention) would be
+            # visible and memory is not held twice
+            self._arrays[name] = view
+        return {
+            "blocks": {
+                name: {
+                    "shm": self._blocks[name].name,
+                    "shape": list(self._arrays[name].shape),
+                    "dtype": str(self._arrays[name].dtype),
+                }
+                for name in self._arrays
+            },
+            "csr": {name: list(shape) for name, shape in self._csr_shapes.items()},
+        }
+
+    @classmethod
+    def attach(cls, descriptor: Dict[str, Any]) -> "ShardContext":
+        """Worker side: attach zero-copy views of the owner's blocks."""
+        ctx = cls.__new__(cls)
+        ctx._arrays = {}
+        ctx._csr_shapes = {
+            name: tuple(shape) for name, shape in descriptor.get("csr", {}).items()
+        }
+        ctx._blocks = {}
+        ctx._owner = False
+        ctx._closed = False
+        for name, meta in descriptor.get("blocks", {}).items():
+            block = _attach_block(meta["shm"])
+            ctx._blocks[name] = block
+            ctx._arrays[name] = np.ndarray(
+                tuple(meta["shape"]), dtype=np.dtype(meta["dtype"]), buffer=block.buf
+            )
+        return ctx
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    def close(self) -> None:
+        """Drop the views and close the block mappings (both sides)."""
+        if self._closed:
+            return
+        self._closed = True
+        # numpy views into the buffers must die before close()
+        self._arrays.clear()
+        for block in self._blocks.values():
+            try:
+                block.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+    def unlink(self) -> None:
+        """Free the OS blocks (owner only; safe to call repeatedly)."""
+        if not self._owner:
+            return
+        for block in self._blocks.values():
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - already freed
+                pass
+        self._blocks.clear()
+
+    def __enter__(self) -> "ShardContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # runs on success, on any exception, and on KeyboardInterrupt —
+        # the with-block is the no-leak guarantee the tests pin down
+        self.close()
+        self.unlink()
+
+
+# ----------------------------------------------------------------------
+# ambient shard resolution
+#
+# In-process maps (serial / thread mode) install the context through a
+# contextvar, which thread workers inherit via the per-item context
+# copies map_parallel already makes. Process-pool workers get a
+# process-global set once by the pool initializer. ``active_shard``
+# checks the contextvar first so nested in-process maps shadow
+# correctly.
+_ACTIVE_SHARD: ContextVar[Optional[ShardContext]] = ContextVar(
+    "repro_active_shard", default=None
+)
+_WORKER_SHARD: Optional[ShardContext] = None
+
+
+def set_worker_shard(ctx: Optional[ShardContext]) -> None:
+    """Install the process-global shard (pool initializer side)."""
+    global _WORKER_SHARD
+    if _WORKER_SHARD is not None and _WORKER_SHARD is not ctx:
+        _WORKER_SHARD.close()
+    _WORKER_SHARD = ctx
+
+
+def active_shard() -> ShardContext:
+    """The ambient :class:`ShardContext` for the current worker.
+
+    Raises :class:`~repro.exceptions.ReproError` when no shard is
+    active — shared-array accessors must only run under a shard-aware
+    map.
+    """
+    ctx = _ACTIVE_SHARD.get()
+    if ctx is None:
+        ctx = _WORKER_SHARD
+    if ctx is None:
+        raise ReproError(
+            "no active ShardContext; pass shard=... to map_parallel "
+            "or enter use_shard(ctx)"
+        )
+    return ctx
+
+
+@contextmanager
+def use_shard(ctx: ShardContext) -> Iterator[ShardContext]:
+    """Install ``ctx`` as the ambient shard for the enclosed block."""
+    token = _ACTIVE_SHARD.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _ACTIVE_SHARD.reset(token)

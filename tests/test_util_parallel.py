@@ -1,11 +1,21 @@
-"""map_parallel: worker resolution, ordering, determinism."""
+"""map_parallel: worker/mode resolution, ordering, determinism, metrics."""
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.clustering.optimality import scan_kappa
 from repro.exceptions import ReproError
-from repro.util.parallel import WORKERS_ENV_VAR, map_parallel, resolve_workers
+from repro.obs.metrics import MetricsRegistry, incr, observe, use_registry
+from repro.util.parallel import (
+    PARALLEL_MODE_ENV_VAR,
+    PARALLEL_MODES,
+    WORKERS_ENV_VAR,
+    map_parallel,
+    resolve_parallel_mode,
+    resolve_workers,
+)
 
 
 class TestResolveWorkers:
@@ -25,7 +35,15 @@ class TestResolveWorkers:
         monkeypatch.setenv(WORKERS_ENV_VAR, "  ")
         assert resolve_workers(None) == 1
 
-    @pytest.mark.parametrize("bad", [0, -2, "three"])
+    def test_zero_means_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+
+    def test_zero_env_means_cpu_count(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "0")
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+
+    @pytest.mark.parametrize("bad", [-1, -2, "three"])
     def test_invalid_counts_rejected(self, bad, monkeypatch):
         monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
         with pytest.raises(ReproError):
@@ -35,6 +53,41 @@ class TestResolveWorkers:
         monkeypatch.setenv(WORKERS_ENV_VAR, "lots")
         with pytest.raises(ReproError):
             resolve_workers(None)
+
+
+class TestResolveParallelMode:
+    def test_thread_default(self, monkeypatch):
+        monkeypatch.delenv(PARALLEL_MODE_ENV_VAR, raising=False)
+        assert resolve_parallel_mode(None) == "thread"
+
+    @pytest.mark.parametrize("mode", PARALLEL_MODES)
+    def test_explicit_modes(self, mode):
+        assert resolve_parallel_mode(mode) == mode
+
+    def test_case_insensitive(self):
+        assert resolve_parallel_mode("Process") == "process"
+
+    def test_env_var_fallback(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_MODE_ENV_VAR, "process")
+        assert resolve_parallel_mode(None) == "process"
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_MODE_ENV_VAR, "process")
+        assert resolve_parallel_mode("serial") == "serial"
+
+    def test_empty_env_is_thread(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_MODE_ENV_VAR, "  ")
+        assert resolve_parallel_mode(None) == "thread"
+
+    @pytest.mark.parametrize("bad", ["fiber", "greenlet", ""])
+    def test_invalid_modes_rejected(self, bad):
+        with pytest.raises(ReproError):
+            resolve_parallel_mode(bad)
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_MODE_ENV_VAR, "fiber")
+        with pytest.raises(ReproError):
+            resolve_parallel_mode(None)
 
 
 class TestMapParallel:
@@ -70,12 +123,65 @@ class TestMapParallel:
         with pytest.raises(ReproError):
             map_parallel(lambda x: x, [1, 2], workers=2, mode="fiber")
 
+    def test_serial_mode_ignores_worker_count(self):
+        assert map_parallel(lambda x: x + 1, range(6), workers=8, mode="serial") == [
+            x + 1 for x in range(6)
+        ]
+
     def test_process_mode(self):
         assert map_parallel(abs, [-2, -1, 0, 1], workers=2, mode="process") == [
             2,
             1,
             0,
             1,
+        ]
+
+    def test_env_var_drives_mode(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_MODE_ENV_VAR, "serial")
+        assert map_parallel(abs, [-3, 4], workers=4) == [3, 4]
+
+
+def _record_and_square(x):
+    incr("work.items")
+    incr("work.total", x)
+    observe("work.value", x)
+    return x * x
+
+
+class TestProcessMetricsMergeBack:
+    """Process workers must not drop metrics (the observability hole)."""
+
+    @pytest.mark.parametrize("mode", PARALLEL_MODES)
+    def test_worker_metrics_reach_caller(self, mode):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            out = map_parallel(_record_and_square, range(6), workers=2, mode=mode)
+        assert out == [x * x for x in range(6)]
+        assert registry.counter("work.items") == 6
+        assert registry.counter("work.total") == sum(range(6))
+        hist = registry.histogram("work.value")
+        assert hist is not None
+        assert hist.count == 6
+        assert hist.total == sum(range(6))
+        assert hist.min == 0 and hist.max == 5
+
+    def test_pool_bookkeeping_metrics(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            map_parallel(_record_and_square, range(5), workers=2, mode="process")
+        assert registry.counter("parallel.maps") == 1
+        assert registry.counter("parallel.items") == 5
+        assert registry.gauge("parallel.workers") == 2
+        assert registry.histogram("parallel.item_seconds").count == 5
+        utilization = registry.gauge("parallel.utilization")
+        assert utilization is not None and 0.0 <= utilization <= 1.0
+
+    def test_no_registry_is_fine(self):
+        assert map_parallel(_record_and_square, range(4), workers=2, mode="process") == [
+            0,
+            1,
+            4,
+            9,
         ]
 
 
@@ -95,6 +201,20 @@ class TestKappaScanDeterminism:
             assert np.array_equal(a.labels, b.labels)
             assert np.array_equal(a.centers, b.centers)
             assert a.inertia == b.inertia
+
+    def test_mode_does_not_change_the_scan(self):
+        """Thread and process execution must give identical scans."""
+        rng = np.random.default_rng(7)
+        values = rng.gamma(2.0, 0.02, size=180)
+
+        threaded = scan_kappa(values, kappa_max=10, workers=2, parallel_mode="thread")
+        processed = scan_kappa(values, kappa_max=10, workers=2, parallel_mode="process")
+
+        assert threaded.kappas == processed.kappas
+        assert threaded.mcg == processed.mcg
+        for a, b in zip(threaded.results, processed.results):
+            assert np.array_equal(a.labels, b.labels)
+            assert np.array_equal(a.centers, b.centers)
 
     def test_env_var_drives_scan_workers(self, monkeypatch):
         rng = np.random.default_rng(3)
