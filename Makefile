@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench bench-full bench-hotpaths bench-obs bench-scaling bench-scaling-full bench-compare obs-report trace-demo profile-demo examples docs-check all
+.PHONY: install test bench bench-full bench-hotpaths bench-obs bench-scaling bench-scaling-full bench-compare obs-report trace-demo profile-demo profile-demo-process examples docs-check all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -51,6 +51,10 @@ trace-demo:
 profile-demo:
 	python -m repro obs profile D1 -k 6 --memory --out-dir profdir
 	@echo "open profdir/report.html (or load profdir/profile.speedscope.json at speedscope.app)"
+
+profile-demo-process:
+	python -m repro obs profile D1 -k 6 --parallel-mode process --workers 2 --shards 4 --out-dir profdir-process
+	@echo "open profdir-process/report.html — one flame graph spanning the parent and both workers"
 
 examples:
 	@for script in examples/*.py; do \

@@ -281,6 +281,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also track allocations with tracemalloc",
     )
     prof.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for the parallel mining loops (0 = all "
+        "cores; default: the REPRO_NUM_WORKERS env var, serial when "
+        "unset)",
+    )
+    prof.add_argument(
+        "--parallel-mode",
+        choices=PARALLEL_MODES,
+        default=None,
+        help="worker execution mode; in process mode every worker runs "
+        "its own sampler and the stacks merge into one flame graph "
+        "(pid:<pid>:<thread> lanes)",
+    )
+    prof.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="mine this many geographic shards in parallel and stitch "
+        "the boundaries (supergraph schemes only)",
+    )
+    prof.add_argument(
         "--out-dir",
         required=True,
         help="directory for the artifact set (trace.json, metrics.json, "
@@ -591,7 +614,13 @@ def _cmd_obs_profile(args: argparse.Namespace) -> int:
         profile=ProfileConfig(hz=args.hz, memory=args.memory),
     )
     framework = SpatialPartitioningFramework(
-        k=args.k, scheme=args.scheme, seed=args.seed, obs=obs
+        k=args.k,
+        scheme=args.scheme,
+        seed=args.seed,
+        workers=args.workers,
+        parallel_mode=args.parallel_mode,
+        n_shards=args.shards,
+        obs=obs,
     )
     framework.partition(network, densities)
 

@@ -166,31 +166,38 @@ def render_prometheus(
         for labels, value in sorted(gauges[family], key=lambda lv: sorted(lv[0].items())):
             lines.append(f"{family}{_format_labels(labels)} {_format_value(value)}")
 
-    for name, hist in sorted(snapshot.get("histograms", {}).items()):
+    # labelled series of one family (e.g. parallel.worker_busy_seconds
+    # [worker=N]) must share a single HELP/TYPE block — the exposition
+    # format forbids repeating TYPE for a family — so group first
+    histograms: Dict[str, List[Tuple[Labels, Dict[str, Any]]]] = {}
+    for name, hist in snapshot.get("histograms", {}).items():
         base, labels = _split_labels(name)
         family = prefix + _sanitize_name(base)
-        labels = {**extra, **labels}
-        count = int(hist.get("count", 0))
-        total = float(hist.get("sum", 0.0))
-        bounds: List[Tuple[float, int]] = []
-        for key, n in hist.get("buckets", {}).items():
-            bound = _bucket_bound(str(key))
-            if bound is not None:
-                bounds.append((bound, int(n)))
-        bounds.sort()
+        histograms.setdefault(family, []).append(({**extra, **labels}, hist))
+    for family in sorted(histograms):
         lines.append(f"# HELP {family} repro histogram")
         lines.append(f"# TYPE {family} histogram")
-        cumulative = 0
-        for bound, n in bounds:
-            cumulative += n
-            bucket_labels = {**labels, "le": _format_value(bound)}
-            lines.append(
-                f"{family}_bucket{_format_labels(bucket_labels)} {cumulative}"
-            )
-        inf_labels = {**labels, "le": "+Inf"}
-        lines.append(f"{family}_bucket{_format_labels(inf_labels)} {count}")
-        lines.append(f"{family}_sum{_format_labels(labels)} {_format_value(total)}")
-        lines.append(f"{family}_count{_format_labels(labels)} {count}")
+        series = sorted(histograms[family], key=lambda lh: sorted(lh[0].items()))
+        for labels, hist in series:
+            count = int(hist.get("count", 0))
+            total = float(hist.get("sum", 0.0))
+            bounds: List[Tuple[float, int]] = []
+            for key, n in hist.get("buckets", {}).items():
+                bound = _bucket_bound(str(key))
+                if bound is not None:
+                    bounds.append((bound, int(n)))
+            bounds.sort()
+            cumulative = 0
+            for bound, n in bounds:
+                cumulative += n
+                bucket_labels = {**labels, "le": _format_value(bound)}
+                lines.append(
+                    f"{family}_bucket{_format_labels(bucket_labels)} {cumulative}"
+                )
+            inf_labels = {**labels, "le": "+Inf"}
+            lines.append(f"{family}_bucket{_format_labels(inf_labels)} {count}")
+            lines.append(f"{family}_sum{_format_labels(labels)} {_format_value(total)}")
+            lines.append(f"{family}_count{_format_labels(labels)} {count}")
 
     return "\n".join(lines) + "\n" if lines else ""
 

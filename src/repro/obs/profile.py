@@ -59,6 +59,7 @@ import sys
 import threading
 import time
 import tracemalloc
+from contextvars import ContextVar
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -71,6 +72,8 @@ __all__ = [
     "SPEEDSCOPE_SCHEMA_URL",
     "ProfileConfig",
     "Profiler",
+    "current_profiler",
+    "merge_profiles",
     "render_collapsed",
     "parse_collapsed",
     "speedscope_from_stacks",
@@ -169,8 +172,13 @@ class Profiler:
         self._thread: Optional[threading.Thread] = None
         self._active = 0  # nested-activation depth
         self._started_tracemalloc = False
+        self._ambient_token = None
         self.sampling_s = 0.0  # wall seconds the sampler was running
         self.peak_alloc_bytes = 0
+        # cross-process merge state (see merge_worker / worker_payload)
+        self._worker_pids: List[int] = []
+        self.worker_sampling_s = 0.0
+        self.worker_peak_alloc_bytes = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -179,6 +187,7 @@ class Profiler:
         self._active += 1
         if self._active > 1:
             return self
+        self._ambient_token = _ACTIVE_PROFILER.set(self)
         if self.config.memory:
             if not tracemalloc.is_tracing():
                 tracemalloc.start()
@@ -200,6 +209,12 @@ class Profiler:
         self._active -= 1
         if self._active > 0:
             return
+        if self._ambient_token is not None:
+            try:
+                _ACTIVE_PROFILER.reset(self._ambient_token)
+            except ValueError:  # pragma: no cover - stop() from another context
+                _ACTIVE_PROFILER.set(None)
+            self._ambient_token = None
         if self._thread is not None:
             self._stop_event.set()
             self._thread.join(timeout=5.0)
@@ -310,9 +325,13 @@ class Profiler:
             self_s = {key: cell[1] for key, cell in span_cpu.items()}
 
             def total(span: Span) -> float:
-                subtotal = self_s.get(id(span), 0.0) + sum(
-                    total(child) for child in span.children
-                )
+                own = self_s.get(id(span))
+                if own is None:
+                    # spans grafted from worker processes carry their
+                    # worker-side sampler's cpu_self_s; fold it into
+                    # the parent's rollup instead of dropping it
+                    own = float(span.attrs.get("cpu_self_s", 0.0))
+                subtotal = own + sum(total(child) for child in span.children)
                 if subtotal > 0:
                     span.attrs["cpu_total_s"] = round(subtotal, 6)
                 return subtotal
@@ -331,6 +350,72 @@ class Profiler:
                     self.registry.set_gauge("process.max_rss_bytes", float(rss))
 
     # ------------------------------------------------------------------
+    # cross-process merge (see docs/api.md for the wire format)
+    def worker_payload(self) -> Dict[str, Any]:
+        """Serialise this profiler's samples for transport to the parent.
+
+        Called in a pool worker after :meth:`stop`; the parent merges
+        the payload with :meth:`merge_worker`. Frames keep their span
+        prefixes (``span:<name>`` entries), so span attribution
+        survives the process boundary.
+        """
+        with self._lock:
+            rows = [
+                [thread, list(frames), int(cell[0]), cell[1]]
+                for (thread, frames), cell in sorted(self._samples.items())
+            ]
+        return {
+            "schema_version": PROFILE_SCHEMA_VERSION,
+            "pid": os.getpid(),
+            "samples": rows,
+            "sampling_s": self.sampling_s,
+            "peak_alloc_bytes": int(self.peak_alloc_bytes),
+        }
+
+    def merge_worker(self, payload: Dict[str, Any]) -> None:
+        """Merge a worker's :meth:`worker_payload` into this profiler.
+
+        Worker stacks are re-keyed under ``pid:<pid>:<thread>`` thread
+        names; once at least one worker merged, the exports prefix this
+        process's own threads the same way, so every flame-graph root
+        names its process (serial-mode output stays untouched).
+        """
+        version = payload.get("schema_version")
+        if version != PROFILE_SCHEMA_VERSION:
+            raise ValueError(
+                f"profile payload has schema_version {version!r}, "
+                f"expected {PROFILE_SCHEMA_VERSION}"
+            )
+        pid = int(payload["pid"])
+        with self._lock:
+            if pid not in self._worker_pids:
+                self._worker_pids.append(pid)
+            for thread, frames, count, seconds in payload.get("samples", []):
+                key = (f"pid:{pid}:{thread}", tuple(frames))
+                cell = self._samples.get(key)
+                if cell is None:
+                    self._samples[key] = [int(count), float(seconds)]
+                else:
+                    cell[0] += int(count)
+                    cell[1] += float(seconds)
+            self.worker_sampling_s += float(payload.get("sampling_s", 0.0))
+            self.worker_peak_alloc_bytes = max(
+                self.worker_peak_alloc_bytes, int(payload.get("peak_alloc_bytes", 0))
+            )
+
+    @property
+    def worker_pids(self) -> List[int]:
+        """Pids whose samples were merged in, in first-merge order."""
+        with self._lock:
+            return list(self._worker_pids)
+
+    def _export_thread(self, thread: str) -> str:
+        """The export-facing thread label (pid-qualified after a merge)."""
+        if self._worker_pids and not thread.startswith("pid:"):
+            return f"pid:{os.getpid()}:{thread}"
+        return thread
+
+    # ------------------------------------------------------------------
     # exports
     @property
     def n_samples(self) -> int:
@@ -341,7 +426,7 @@ class Profiler:
         """``(frames, seconds)`` pairs, thread name as the root frame."""
         with self._lock:
             return [
-                ((thread,) + frames, cell[1])
+                ((self._export_thread(thread),) + frames, cell[1])
                 for (thread, frames), cell in sorted(self._samples.items())
             ]
 
@@ -349,7 +434,7 @@ class Profiler:
         """Aggregated sample counts keyed by full (thread-rooted) stack."""
         with self._lock:
             return {
-                (thread,) + frames: int(cell[0])
+                (self._export_thread(thread),) + frames: int(cell[0])
                 for (thread, frames), cell in self._samples.items()
             }
 
@@ -362,7 +447,7 @@ class Profiler:
         by_thread: Dict[str, Dict[Tuple[str, ...], float]] = {}
         with self._lock:
             for (thread, frames), cell in sorted(self._samples.items()):
-                by_thread.setdefault(thread, {})[frames] = cell[1]
+                by_thread.setdefault(self._export_thread(thread), {})[frames] = cell[1]
         if not by_thread:
             by_thread = {"MainThread": {}}
 
@@ -416,7 +501,7 @@ class Profiler:
                 for cell in self._span_cpu.values()
             ]
         span_rows.sort(key=lambda row: -row["cpu_self_s"])
-        return {
+        out = {
             "schema_version": PROFILE_SCHEMA_VERSION,
             "hz": float(self.config.hz),
             "memory": bool(self.config.memory),
@@ -425,6 +510,12 @@ class Profiler:
             "peak_alloc_bytes": int(self.peak_alloc_bytes),
             "span_cpu": span_rows,
         }
+        pids = self.worker_pids
+        if pids:
+            out["worker_pids"] = pids
+            out["worker_sampling_s"] = round(self.worker_sampling_s, 6)
+            out["worker_peak_alloc_bytes"] = int(self.worker_peak_alloc_bytes)
+        return out
 
     def write_speedscope(self, path: PathLike, name: str = "repro profile") -> Path:
         import json
@@ -441,6 +532,80 @@ class Profiler:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(self.collapsed(), encoding="utf-8")
         return path
+
+
+# ----------------------------------------------------------------------
+# contextvar plumbing (mirrors repro.obs.trace / repro.obs.metrics)
+_ACTIVE_PROFILER: ContextVar[Optional[Profiler]] = ContextVar(
+    "repro_active_profiler", default=None
+)
+
+
+def current_profiler() -> Optional[Profiler]:
+    """The profiler whose :meth:`Profiler.start` is active, or None.
+
+    :func:`repro.util.parallel.map_parallel` consults this to decide
+    whether process-pool workers should run their own sampling
+    profiler and ship the stacks back for merging.
+    """
+    return _ACTIVE_PROFILER.get()
+
+
+# ----------------------------------------------------------------------
+# document-level combination
+def merge_profiles(*docs: Dict[str, Any], name: str = "merged profile") -> Dict[str, Any]:
+    """Combine speedscope documents into one multi-profile document.
+
+    Profiles with the same name (e.g. the same ``pid:<pid>:<thread>``
+    lane appearing in two partial documents) have their stacks merged;
+    distinct names stay separate profiles sharing one frame table. The
+    result validates under :func:`validate_speedscope` and opens in
+    speedscope as a single unified flame graph with a profile selector
+    per process/thread.
+    """
+    if not docs:
+        raise ValueError("merge_profiles needs at least one document")
+    merged: Dict[str, Dict[Tuple[str, ...], float]] = {}
+    for doc in docs:
+        for profile_name, stacks in stacks_from_speedscope(doc).items():
+            into = merged.setdefault(profile_name, {})
+            for frames, weight in stacks.items():
+                into[frames] = into.get(frames, 0.0) + weight
+
+    frame_index: Dict[str, int] = {}
+    frames_table: List[Dict[str, str]] = []
+
+    def index_of(frame: str) -> int:
+        if frame not in frame_index:
+            frame_index[frame] = len(frames_table)
+            frames_table.append({"name": frame})
+        return frame_index[frame]
+
+    profiles = []
+    for profile_name in sorted(merged):
+        stacks = merged[profile_name]
+        samples = [[index_of(f) for f in frames] for frames in sorted(stacks)]
+        weights = [round(stacks[frames], 9) for frames in sorted(stacks)]
+        profiles.append(
+            {
+                "type": "sampled",
+                "name": profile_name,
+                "unit": "seconds",
+                "startValue": 0,
+                "endValue": round(sum(weights), 9),
+                "samples": samples,
+                "weights": weights,
+            }
+        )
+    active = max(range(len(profiles)), key=lambda i: profiles[i]["endValue"])
+    return {
+        "$schema": SPEEDSCOPE_SCHEMA_URL,
+        "name": name,
+        "exporter": "repro.obs.profile",
+        "activeProfileIndex": active,
+        "shared": {"frames": frames_table},
+        "profiles": profiles,
+    }
 
 
 # ----------------------------------------------------------------------

@@ -74,16 +74,23 @@ def _bars_from_tree(spans: List[Dict], depth: int = 0) -> List[Tuple]:
 
 
 def _bars_from_chrome(events: List[Dict]) -> List[Tuple]:
-    """Recover nesting depth from flat complete events (per tid)."""
+    """Recover nesting depth from flat complete events.
+
+    Lanes are ``(pid, tid)`` pairs — a multi-process trace (worker
+    spans grafted by :meth:`repro.obs.trace.Tracer.graft`) stacks each
+    worker process's spans on its own set of lanes below the parent's,
+    exactly as worker threads already did.
+    """
     bars: List[Tuple] = []
     complete = [e for e in events if e.get("ph") == "X"]
-    by_tid: Dict[Any, List[Dict]] = {}
+    by_lane: Dict[Any, List[Dict]] = {}
     for event in complete:
-        by_tid.setdefault(event.get("tid", 0), []).append(event)
+        lane_key = (event.get("pid", 0), event.get("tid", 0))
+        by_lane.setdefault(lane_key, []).append(event)
     base_depth = 0
-    for tid in sorted(by_tid, key=str):
+    for lane_key in sorted(by_lane, key=lambda key: (str(key[0]), str(key[1]))):
         lane = sorted(
-            by_tid[tid],
+            by_lane[lane_key],
             key=lambda e: (float(e.get("ts", 0.0)), -float(e.get("dur", 0.0))),
         )
         stack: List[float] = []  # end timestamps of open ancestors

@@ -272,5 +272,37 @@ class SpatialPartitioningFramework:
             seed=self._seed,
             run_id=self._obs.run_id if self._obs is not None else None,
             workers=self._workers,
+            parallel_mode=self._parallel_mode,
+            n_shards=self._n_shards,
+            n_shards_resolved=result.n_shards_resolved,
+            stages=self._stage_record(result),
         )
         return result
+
+    def _stage_record(self, result: PartitioningResult) -> Dict[str, Dict]:
+        """Per-stage execution record for the run manifest.
+
+        Modules 1 and 3 always run serially in the calling process;
+        module 2 (supergraph mining) is the stage the worker-count /
+        parallel-mode / shard knobs actually drive, so its entry
+        records what resolved — not just what was requested.
+        """
+        try:
+            from repro.util.parallel import resolve_parallel_mode, resolve_workers
+
+            resolved_mode: Optional[str] = resolve_parallel_mode(self._parallel_mode)
+            resolved_workers: Optional[int] = resolve_workers(self._workers)
+        except Exception:  # pragma: no cover - invalid knob at manifest time
+            resolved_mode = None
+            resolved_workers = None
+        stages: Dict[str, Dict] = {
+            "module1": {"parallel_mode": "serial", "workers": 1},
+            "module3": {"parallel_mode": "serial", "workers": 1},
+        }
+        if self._scheme in ("ASG", "NSG"):
+            stages["module2"] = {
+                "parallel_mode": resolved_mode,
+                "workers": resolved_workers,
+                "n_shards": result.n_shards_resolved,
+            }
+        return stages

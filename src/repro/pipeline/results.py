@@ -36,6 +36,10 @@ class PartitioningResult:
         contained in their module's total.
     n_supernodes:
         Supergraph order, for supergraph-based schemes.
+    n_shards_resolved:
+        Shard count the sharded supergraph builder actually used
+        (after the minimum-size clamp), or None when the run was not
+        sharded. Recorded into the run manifest by the framework.
     manifest:
         Run manifest (config, seed, package versions, platform, git
         SHA, timestamp) attached by the framework; see
@@ -47,6 +51,7 @@ class PartitioningResult:
     k: int = 0
     timings: Dict[str, float] = field(default_factory=dict)
     n_supernodes: Optional[int] = None
+    n_shards_resolved: Optional[int] = None
     manifest: Optional[Dict] = None
 
     def __post_init__(self) -> None:

@@ -117,6 +117,7 @@ def run_scheme(
     )
 
     n_supernodes: Optional[int] = None
+    n_shards_resolved: Optional[int] = None
 
     if scheme in ("AG", "NG"):
         with own_timer.time("module3"):
@@ -147,6 +148,8 @@ def run_scheme(
                     timer=own_timer,
                 )
                 supergraph = sharded.build(road_graph, points=shard_points)
+                if sharded.report is not None:
+                    n_shards_resolved = int(sharded.report.n_shards)
             else:
                 builder = SupergraphBuilder(
                     epsilon_theta=epsilon_theta,
@@ -181,4 +184,5 @@ def run_scheme(
         scheme=scheme,
         timings=own_timer.timings,
         n_supernodes=n_supernodes,
+        n_shards_resolved=n_shards_resolved,
     )

@@ -37,6 +37,7 @@ worker scalings on identical output.
 from __future__ import annotations
 
 import functools
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -49,6 +50,7 @@ from repro.graph.adjacency import Graph
 from repro.graph.components import constrained_components
 from repro.obs.logs import get_logger
 from repro.obs.metrics import incr, set_gauge
+from repro.obs.trace import current_tracer
 from repro.shard.spatial import graph_shards, shard_order
 from repro.supergraph.builder import SupergraphBuilder
 from repro.supergraph.model import Supergraph
@@ -74,38 +76,49 @@ def _mine_shard(
     Reads the full graph plus the shard index out of the ambient
     :class:`~repro.util.shm.ShardContext` and slices the shard's
     induced subgraph locally — nothing graph-sized is ever pickled.
-    Module-level so it stays picklable for process pools.
+    Module-level so it stays picklable for process pools. Under an
+    ambient tracer (process-pool workers run one per task) the whole
+    mine is wrapped in a ``shard.mine`` span carrying the ``shard``
+    attribute, so grafted worker trees identify their shard.
     """
     ctx = active_shard()
     order = ctx.get("shards.order")
     offsets = ctx.get("shards.offsets")
     idx = order[offsets[shard_id] : offsets[shard_id + 1]]
-    adjacency = ctx.get_csr("graph.adjacency")
-    sub_adj = adjacency[idx][:, idx]
-    features = ctx.get("graph.features")[idx]
-    n_local = int(idx.size)
 
-    kappa_max = config["kappa_max"]
-    if kappa_max is not None:
-        kappa_max = min(int(kappa_max), n_local - 1)
-    seed = config["seed"]
-    builder = SupergraphBuilder(
-        epsilon_theta=config["epsilon_theta"],
-        epsilon_fraction=config["epsilon_fraction"],
-        epsilon_eta=config["epsilon_eta"],
-        kappa_max=kappa_max,
-        sample_size=config["sample_size"],
-        kmeans_method=config["kmeans_method"],
-        seed=None if seed is None else int(seed) + shard_id,
-        workers=1,  # no nested pools inside a shard worker
-        parallel_mode="serial",
+    tracer = current_tracer()
+    span_cm = (
+        tracer.span("shard.mine", shard=int(shard_id), n_nodes=int(idx.size))
+        if tracer is not None
+        else nullcontext()
     )
-    supergraph = builder.build(Graph.from_adjacency(sub_adj, features=features))
-    return (
-        np.asarray(supergraph.member_of),
-        np.asarray(supergraph.features(), dtype=float),
-        int(builder.report.chosen_kappa),
-    )
+    with span_cm:
+        adjacency = ctx.get_csr("graph.adjacency")
+        sub_adj = adjacency[idx][:, idx]
+        features = ctx.get("graph.features")[idx]
+        n_local = int(idx.size)
+
+        kappa_max = config["kappa_max"]
+        if kappa_max is not None:
+            kappa_max = min(int(kappa_max), n_local - 1)
+        seed = config["seed"]
+        builder = SupergraphBuilder(
+            epsilon_theta=config["epsilon_theta"],
+            epsilon_fraction=config["epsilon_fraction"],
+            epsilon_eta=config["epsilon_eta"],
+            kappa_max=kappa_max,
+            sample_size=config["sample_size"],
+            kmeans_method=config["kmeans_method"],
+            seed=None if seed is None else int(seed) + shard_id,
+            workers=1,  # no nested pools inside a shard worker
+            parallel_mode="serial",
+        )
+        supergraph = builder.build(Graph.from_adjacency(sub_adj, features=features))
+        return (
+            np.asarray(supergraph.member_of),
+            np.asarray(supergraph.features(), dtype=float),
+            int(builder.report.chosen_kappa),
+        )
 
 
 @dataclass

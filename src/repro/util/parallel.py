@@ -33,11 +33,17 @@ variable, then ``"thread"``. Modes:
   every worker invocation;
 * ``"process"`` — :class:`~concurrent.futures.ProcessPoolExecutor`;
   escapes the GIL for pure-Python CPU-bound work. Workers run a pool
-  initializer that re-establishes the observability context (log
-  level, shared-array shard), record metrics into a worker-side
-  registry, and ship the per-item metric deltas back with each result
-  so the caller's :class:`~repro.obs.metrics.MetricsRegistry` sees
-  exactly what thread mode would have recorded.
+  initializer that re-establishes the observability context (stderr
+  logging, shared-array shard), then mirror whichever pillars the
+  caller had active: metrics land in a worker-side registry whose
+  per-item delta rides back with each result, spans open on a
+  worker-side :class:`~repro.obs.trace.Tracer` whose serialized tree
+  is grafted into the caller's trace (``pid``/``worker`` attributes,
+  own Chrome-trace process lane), and — when a profiler is active —
+  a worker-side sampler ships its stacks back for a single merged
+  flame graph. The caller's observability artifacts therefore look
+  the same as thread mode's, just annotated with the process
+  dimension.
 
 Large read-only inputs should travel through a
 :class:`repro.util.shm.ShardContext` (the ``shard`` argument) instead
@@ -57,10 +63,13 @@ import logging
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import ExitStack
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, TypeVar
 
 from repro.exceptions import ReproError
 from repro.obs.metrics import MetricsRegistry, current_registry, use_registry
+from repro.obs.profile import ProfileConfig, Profiler, current_profiler
+from repro.obs.trace import Tracer, activate_tracer, current_tracer
 from repro.util import shm
 
 T = TypeVar("T")
@@ -244,37 +253,108 @@ def _current_log_level() -> Optional[str]:
 def _worker_init(descriptor: Optional[Dict[str, Any]], log_level: Optional[str]) -> None:
     """Pool initializer: re-establish the observability context.
 
-    Runs once per worker process. Re-applies the parent's log level
-    (inherited automatically under ``fork`` but lost under ``spawn``)
-    and attaches the shared-memory shard, if any, as the process-global
-    ambient shard.
+    Runs once per worker process. Installs a stderr logging handler
+    unconditionally — worker diagnostics must never land on stdout,
+    which the CLI reserves for ``--json`` payloads — re-applying the
+    parent's log level when it is a standard one (inherited under
+    ``fork`` but lost under ``spawn``), clears any ambient
+    observability state inherited through ``fork`` (a forked worker's
+    contextvars point at dead copies of the parent's registry, tracer,
+    profiler and shard — writes to them never ride back, and the stale
+    shard would shadow the attached one), and attaches the
+    shared-memory shard, if any, as the process-global ambient shard.
     """
-    if log_level is not None:
-        from repro.obs.logs import LOG_LEVELS, configure_logging
+    from repro.obs.logs import LOG_LEVELS, configure_logging
+    from repro.obs.metrics import _ACTIVE_REGISTRY
+    from repro.obs.profile import _ACTIVE_PROFILER
+    from repro.obs.trace import _ACTIVE_TRACER
 
-        if log_level in LOG_LEVELS:
-            configure_logging(level=log_level)
+    _ACTIVE_REGISTRY.set(None)
+    _ACTIVE_TRACER.set(None)
+    _ACTIVE_PROFILER.set(None)
+    shm._ACTIVE_SHARD.set(None)
+    if log_level is not None and log_level in LOG_LEVELS:
+        configure_logging(level=log_level)
+    else:
+        configure_logging(level="warning")
     if descriptor is not None:
         shm.set_worker_shard(shm.ShardContext.attach(descriptor))
 
 
-def _process_task(
-    fn: Callable[[T], R], collect_metrics: bool, item: T
-) -> Tuple[R, Optional[Dict[str, Any]], float]:
-    """One process-pool task: run ``fn`` under a worker-side registry.
+def _task_label(fn: Callable) -> str:
+    """Span name for a worker task: ``worker:<underlying function>``."""
+    base = fn
+    while isinstance(base, functools.partial):
+        base = base.func
+    name = (
+        getattr(base, "__qualname__", None)
+        or getattr(base, "__name__", None)
+        or type(base).__name__
+    )
+    return f"worker:{name}"
 
-    Returns ``(result, metrics_snapshot_or_None, elapsed_seconds)`` —
-    the per-item metric delta the caller merges back, so nothing
-    recorded inside ``fn`` is lost at the interpreter boundary.
+
+def _process_task(
+    fn: Callable[[T], R], spec: Dict[str, Any], index: int, item: T
+) -> Tuple[R, Dict[str, Any]]:
+    """One process-pool task: run ``fn`` under worker-side observability.
+
+    ``spec`` says which pillars the parent had active (metrics /
+    tracing / profiling); matching worker-side collectors run for the
+    task's duration and their output rides back in the returned
+    payload — metrics snapshot, serialized span tree
+    (:meth:`repro.obs.trace.Tracer.to_wire`) and profile samples
+    (:meth:`repro.obs.profile.Profiler.worker_payload`) — so nothing
+    recorded inside ``fn`` is lost at the interpreter boundary. The
+    payload's wire formats are documented in ``docs/api.md``.
     """
+    payload: Dict[str, Any] = {
+        "pid": os.getpid(),
+        "start_unix_s": time.time(),
+    }
     t0 = time.perf_counter()
-    if not collect_metrics:
-        return fn(item), None, time.perf_counter() - t0
-    registry = MetricsRegistry()
-    with use_registry(registry):
-        result = fn(item)
-    snapshot = registry.to_dict() if len(registry) else None
-    return result, snapshot, time.perf_counter() - t0
+    registry = MetricsRegistry() if spec.get("metrics") else None
+    tracer = Tracer() if spec.get("trace") else None
+    profile_spec = spec.get("profile")
+    profiler = None
+    if profile_spec is not None:
+        # registry stays None on purpose: the worker profiler must not
+        # write profile.* gauges that would stomp the parent's on merge
+        profiler = Profiler(
+            ProfileConfig(
+                cpu=True,
+                hz=profile_spec["hz"],
+                memory=profile_spec["memory"],
+                max_stack_depth=profile_spec["max_stack_depth"],
+            ),
+            tracer=tracer,
+        )
+    with ExitStack() as stack:
+        if registry is not None:
+            stack.enter_context(use_registry(registry))
+            shm.flush_pending_metrics(registry)
+        if tracer is not None:
+            stack.enter_context(activate_tracer(tracer))
+        if profiler is not None:
+            stack.enter_context(profiler)
+        if tracer is not None:
+            attrs: Dict[str, Any] = {"item": index}
+            parent_span = spec.get("parent_span")
+            if parent_span is not None:
+                attrs["parent_span"] = parent_span["name"]
+                attrs["parent_span_id"] = parent_span["id"]
+            with tracer.span(_task_label(fn), **attrs):
+                result = fn(item)
+        else:
+            result = fn(item)
+    payload["elapsed_s"] = time.perf_counter() - t0
+    if registry is not None:
+        payload["metrics"] = registry.to_dict() if len(registry) else None
+    if tracer is not None:
+        payload["trace"] = tracer.to_wire()
+    if profiler is not None:
+        payload["profile"] = profiler.worker_payload()
+    return result, payload
 
 
 def _map_process(
@@ -284,28 +364,83 @@ def _map_process(
     registry,
     shard: Optional[shm.ShardContext],
 ) -> List[R]:
-    """Process-pool map: shared-memory inputs, metric deltas merged back."""
+    """Process-pool map: shared-memory inputs, observability merged back.
+
+    Worker payloads are merged in input order: metric deltas into the
+    caller's registry, span trees grafted into the ambient tracer
+    (with ``pid``/``worker`` attributes), profile samples into the
+    ambient profiler under ``pid:<pid>:<thread>`` lanes. Pool metrics
+    (queue wait, startup, per-worker busy time, utilization) are
+    recorded alongside.
+    """
+    serialize_t0 = time.perf_counter()
     descriptor = shard.share() if shard is not None else None
-    task = functools.partial(_process_task, fn, registry is not None)
+    serialize_s = time.perf_counter() - serialize_t0
+    tracer = current_tracer()
+    profiler = current_profiler()
+    spec: Dict[str, Any] = {
+        "metrics": registry is not None,
+        "trace": tracer is not None,
+        "profile": None,
+        "parent_span": None,
+    }
+    if tracer is not None:
+        parent = tracer.current
+        if parent is not None:
+            spec["parent_span"] = {
+                "name": parent.name,
+                "id": f"{os.getpid()}:{id(parent):x}",
+            }
+    if profiler is not None and profiler.config.cpu:
+        spec["profile"] = {
+            "hz": float(profiler.config.hz),
+            "memory": bool(profiler.config.memory),
+            "max_stack_depth": int(profiler.config.max_stack_depth),
+        }
+    task = functools.partial(_process_task, fn, spec)
     start = time.perf_counter()
+    start_unix = time.time()
     with ProcessPoolExecutor(
         max_workers=count,
         initializer=_worker_init,
         initargs=(descriptor, _current_log_level()),
     ) as pool:
-        outcomes = list(pool.map(task, work))
+        outcomes = list(pool.map(task, range(len(work)), work))
     results: List[R] = []
-    busy = 0.0
+    worker_of: Dict[int, int] = {}  # pid -> first-seen ordinal
+    busy_by_pid: Dict[int, float] = {}
+    queue_waits: List[float] = []
     # merge in input order so gauge last-write-wins is deterministic
-    for result, snapshot, elapsed in outcomes:
+    for index, (result, payload) in enumerate(outcomes):
+        pid = int(payload["pid"])
+        if pid not in worker_of:
+            worker_of[pid] = len(worker_of)
+        elapsed = float(payload["elapsed_s"])
         if registry is not None:
-            if snapshot is not None:
-                registry.merge_snapshot(snapshot)
+            if payload.get("metrics") is not None:
+                registry.merge_snapshot(payload["metrics"])
             registry.observe("parallel.item_seconds", elapsed)
-            busy += elapsed
+            wait = max(float(payload["start_unix_s"]) - start_unix, 0.0)
+            queue_waits.append(wait)
+            registry.observe("parallel.queue_wait_seconds", wait)
+            busy_by_pid[pid] = busy_by_pid.get(pid, 0.0) + elapsed
+        if tracer is not None and payload.get("trace") is not None:
+            tracer.graft(payload["trace"], worker=worker_of[pid], item=index)
+        if profiler is not None and payload.get("profile") is not None:
+            profiler.merge_worker(payload["profile"])
         results.append(result)
     if registry is not None:
         wall = time.perf_counter() - start
+        busy = sum(busy_by_pid.values())
         utilization = min(1.0, busy / (wall * count)) if wall > 0 else 1.0
         registry.set_gauge("parallel.utilization", utilization)
+        registry.set_gauge("parallel.workers_used", float(len(worker_of)))
+        registry.observe("parallel.serialize_seconds", serialize_s)
+        if queue_waits:
+            registry.set_gauge("parallel.pool_startup_seconds", min(queue_waits))
+        for pid in sorted(busy_by_pid, key=worker_of.__getitem__):
+            registry.observe(
+                f"parallel.worker_busy_seconds[worker={worker_of[pid]}]",
+                busy_by_pid[pid],
+            )
     return results

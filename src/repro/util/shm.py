@@ -47,22 +47,58 @@ receive a plain-dict descriptor and re-attach by name (see
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from multiprocessing import shared_memory
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import ReproError
+from repro.obs.metrics import current_registry, incr, observe, set_gauge
 
 __all__ = [
     "ShardContext",
     "active_shard",
     "use_shard",
     "set_worker_shard",
+    "flush_pending_metrics",
 ]
+
+# Data-plane metrics recorded before any registry exists (a pool
+# worker attaches its shard in the initializer, while the worker-side
+# registry only comes up per task). They are parked here and flushed
+# into the first task's registry by flush_pending_metrics, riding back
+# to the parent with that task's metrics snapshot.
+_PENDING_METRICS: List[Tuple[str, str, float]] = []  # (kind, name, value)
+_PENDING_METRICS_CAP = 256  # bound memory when nothing ever flushes
+
+
+def _record(kind: str, name: str, value: float) -> None:
+    registry = current_registry()
+    if registry is None:
+        if len(_PENDING_METRICS) < _PENDING_METRICS_CAP:
+            _PENDING_METRICS.append((kind, name, value))
+    elif kind == "inc":
+        registry.inc(name, value)
+    elif kind == "observe":
+        registry.observe(name, value)
+    else:
+        registry.set_gauge(name, value)
+
+
+def flush_pending_metrics(registry) -> None:
+    """Replay data-plane metrics parked while no registry was active."""
+    while _PENDING_METRICS:
+        kind, name, value = _PENDING_METRICS.pop(0)
+        if kind == "inc":
+            registry.inc(name, value)
+        elif kind == "observe":
+            registry.observe(name, value)
+        else:
+            registry.set_gauge(name, value)
 
 
 def _attach_block(name: str) -> shared_memory.SharedMemory:
@@ -102,6 +138,7 @@ class ShardContext:
         self._blocks: Dict[str, shared_memory.SharedMemory] = {}
         self._owner = True
         self._closed = False
+        self._nbytes = 0
 
     # ------------------------------------------------------------------
     # registration (owner side)
@@ -115,7 +152,12 @@ class ShardContext:
         if arr.size == 0:
             # SharedMemory rejects zero-byte blocks; keep a private copy
             arr = arr.copy()
+        if name in self._arrays:
+            self._nbytes -= self._arrays[name].nbytes
         self._arrays[name] = arr
+        self._nbytes += arr.nbytes
+        set_gauge("shm.arrays_registered", float(len(self._arrays)))
+        set_gauge("shm.bytes_registered", float(self._nbytes))
 
     def put_csr(self, name: str, matrix) -> None:
         """Register a CSR matrix as three arrays plus its shape."""
@@ -174,6 +216,8 @@ class ShardContext:
             raise ReproError("attached ShardContext cannot share()")
         if self._closed:
             raise ReproError("ShardContext already closed")
+        t0 = time.perf_counter()
+        created = 0
         for name, arr in self._arrays.items():
             if name in self._blocks:
                 continue
@@ -185,6 +229,14 @@ class ShardContext:
             # worker writes (there are none by convention) would be
             # visible and memory is not held twice
             self._arrays[name] = view
+            created += 1
+        if created:
+            incr("shm.shares")
+            observe("shm.share_seconds", time.perf_counter() - t0)
+            set_gauge(
+                "shm.bytes_shared",
+                float(sum(block.size for block in self._blocks.values())),
+            )
         return {
             "blocks": {
                 name: {
@@ -200,6 +252,7 @@ class ShardContext:
     @classmethod
     def attach(cls, descriptor: Dict[str, Any]) -> "ShardContext":
         """Worker side: attach zero-copy views of the owner's blocks."""
+        t0 = time.perf_counter()
         ctx = cls.__new__(cls)
         ctx._arrays = {}
         ctx._csr_shapes = {
@@ -208,12 +261,18 @@ class ShardContext:
         ctx._blocks = {}
         ctx._owner = False
         ctx._closed = False
+        ctx._nbytes = 0
         for name, meta in descriptor.get("blocks", {}).items():
             block = _attach_block(meta["shm"])
             ctx._blocks[name] = block
             ctx._arrays[name] = np.ndarray(
                 tuple(meta["shape"]), dtype=np.dtype(meta["dtype"]), buffer=block.buf
             )
+            ctx._nbytes += ctx._arrays[name].nbytes
+        # pool workers attach before any registry exists; _record parks
+        # the observation until flush_pending_metrics replays it
+        _record("inc", "shm.attaches", 1.0)
+        _record("observe", "shm.attach_seconds", time.perf_counter() - t0)
         return ctx
 
     # ------------------------------------------------------------------
@@ -231,16 +290,28 @@ class ShardContext:
             except OSError:  # pragma: no cover - already gone
                 pass
 
-    def unlink(self) -> None:
-        """Free the OS blocks (owner only; safe to call repeatedly)."""
+    def unlink(self) -> Tuple[int, int]:
+        """Free the OS blocks (owner only; safe to call repeatedly).
+
+        Returns ``(freed, missing)`` — blocks actually unlinked vs.
+        blocks that were already gone (someone else freed them, which
+        the leak check below treats as a dirty outcome).
+        """
         if not self._owner:
-            return
+            return (0, 0)
+        freed = missing = 0
         for block in self._blocks.values():
             try:
                 block.unlink()
+                freed += 1
             except FileNotFoundError:  # pragma: no cover - already freed
-                pass
+                missing += 1
         self._blocks.clear()
+        if freed:
+            incr("shm.blocks_unlinked", freed)
+        if missing:  # pragma: no cover - needs an external unlink
+            incr("shm.unlink_missing", missing)
+        return (freed, missing)
 
     def __enter__(self) -> "ShardContext":
         return self
@@ -249,7 +320,10 @@ class ShardContext:
         # runs on success, on any exception, and on KeyboardInterrupt —
         # the with-block is the no-leak guarantee the tests pin down
         self.close()
-        self.unlink()
+        __, missing = self.unlink()
+        incr("shm.leak_checks")
+        if missing == 0:
+            incr("shm.leak_checks_clean")
 
 
 # ----------------------------------------------------------------------

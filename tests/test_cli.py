@@ -143,3 +143,60 @@ class TestDatasetsCommand:
         assert main(["datasets", "D9"]) == 1
         # diagnostics go to stderr so stdout stays pipeable
         assert "unknown" in capsys.readouterr().err
+
+
+class TestProcessModePipesClean:
+    """Worker-process diagnostics must never land on stdout.
+
+    Runs the CLI as a real subprocess — pool workers inherit the
+    process-level stdout fd, which in-process capsys capture cannot
+    see — and asserts ``--json`` output stays machine-parseable in
+    ``--parallel-mode process``.
+    """
+
+    def test_json_stdout_is_pure_json(self):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        src = str(Path(repro.__file__).parents[1])
+        env = dict(os.environ, PYTHONPATH=src)
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "partition",
+                "D1",
+                "-k",
+                "4",
+                "--seed",
+                "0",
+                "--json",
+                "--parallel-mode",
+                "process",
+                "--workers",
+                "2",
+                "--shards",
+                "2",
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(proc.stdout)  # raises if diagnostics leaked
+        assert payload["k"] == 4
+        manifest = payload["manifest"]
+        assert manifest["parallel_mode_requested"] == "process"
+        assert manifest["parallel_mode_resolved"] == "process"
+        assert manifest["n_shards_requested"] == 2
+        assert manifest["n_shards_resolved"] >= 1
+        stages = manifest["stages"]
+        assert stages["module1"]["parallel_mode"] == "serial"
+        assert stages["module2"]["parallel_mode"] == "process"
+        assert stages["module2"]["n_shards"] == manifest["n_shards_resolved"]
