@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench bench-full bench-hotpaths bench-obs bench-scaling bench-scaling-full bench-compare obs-report trace-demo profile-demo profile-demo-process examples docs-check all
+.PHONY: install test bench bench-full bench-hotpaths bench-obs bench-scaling bench-scaling-full bench-serving bench-compare serve-demo obs-report trace-demo profile-demo profile-demo-process examples docs-check all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -28,10 +28,28 @@ bench-scaling:
 bench-scaling-full:
 	REPRO_FULL_SCALE=1 pytest benchmarks/test_bench_scaling.py -s
 
+# Serving throughput/latency bench on the full-scale M2 network
+# (writes BENCH_serving.json; the >=10k lookups/s + p99<10ms floors).
+bench-serving:
+	pytest benchmarks/test_bench_serving.py -s
+
 # Gate the newest benchmark runs against benchmarks/results/history.jsonl
 # (exit 1 on regression, 2 when the history is still too short).
 bench-compare:
 	python -m repro bench compare
+
+# Boot the partition server on D1, fire a bounded loadgen burst at it,
+# print the report, and shut the server down cleanly (SIGTERM).
+serve-demo:
+	@python -m repro serve D1 -k 4 --port 0 > serve-status.json & \
+	SERVER_PID=$$!; \
+	for i in $$(seq 1 50); do [ -s serve-status.json ] && break; sleep 0.2; done; \
+	PORT=$$(python -c "import json; print(json.load(open('serve-status.json'))['port'])"); \
+	echo "server on port $$PORT (serve-status.json)"; \
+	python -m repro loadgen --port $$PORT --duration 2 --connections 2 --depth 16; \
+	status=$$?; \
+	kill -TERM $$SERVER_PID; wait $$SERVER_PID; \
+	exit $$status
 
 # Flight-recorder report from the trace-demo artifacts.
 obs-report: trace-demo

@@ -1,0 +1,144 @@
+"""Serving benchmark: sustained lookup throughput and tail latency.
+
+Boots a :class:`repro.serve.server.PartitionServer` on the full-scale
+M2 synthetic network (~52k segments — the acceptance target of ROADMAP
+item 1) and drives it with the pipelined load generator, exactly as
+``repro loadgen`` would:
+
+* **single mode** — ``GET /lookup?segment=N`` keep-alive lookups; the
+  acceptance floor is >= 10k lookups/s sustained with p99 < 10 ms on
+  one core;
+* **batch mode** — ``POST /lookup/batch`` with 64-id batches, showing
+  the coalescing headroom (one vectorised label take per batch).
+
+The partition labels come from the kd-tree spatial sharder — the bench
+measures the serving layer, not the partitioning algorithms, and
+``spatial_shards`` gives a valid balanced labelling of 52k segments in
+milliseconds.
+
+Writes ``BENCH_serving.json`` at the repo root (plus the usual
+``benchmarks/results`` copy + history append, which is what the CI
+``serve-smoke`` job gates p99 regressions against). The throughput and
+latency floors are always asserted — unlike the scaling bench there is
+no multi-core requirement; the target is explicitly single-machine,
+and this box may well have one core (``n_cores`` is recorded).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import print_table, save_results
+from repro.datasets.registry import load_dataset
+from repro.network.dual import build_road_graph
+from repro.serve import PartitionServer, SegmentIndex, SnapshotStore, run_loadgen
+from repro.shard.spatial import segment_midpoints, spatial_shards
+
+ROOT_RESULTS = Path(__file__).parent.parent / "BENCH_serving.json"
+
+DATASET = "M2"  # full-scale: ~52k directed segments
+K = 16
+DURATION_S = 3.0
+CONNECTIONS = 4
+DEPTH = 32
+BATCH_SIZE = 64
+
+LOOKUPS_PER_S_FLOOR = 10_000
+P99_CEILING_S = 0.010
+
+
+@pytest.fixture(scope="module")
+def serving_stack():
+    """(handle, store, n_segments) — a live server over M2 labels."""
+    network, densities = load_dataset(DATASET, seed=3)
+    points = segment_midpoints(network)
+    labels = spatial_shards(points, K)
+    graph = build_road_graph(network)
+    index = SegmentIndex(
+        labels, points=points, adjacency=graph.adjacency, features=densities
+    )
+    store = SnapshotStore()
+    store.publish(index, meta={"dataset": DATASET, "labeller": "spatial_shards"})
+    handle = PartitionServer(store).start_background()
+    yield handle, store, network.n_segments
+    handle.stop()
+    store.close()
+
+
+def test_bench_serving(serving_stack):
+    handle, store, n_segments = serving_stack
+    payload = {
+        "dataset": DATASET,
+        "n_segments": n_segments,
+        "k": K,
+        "n_cores": os.cpu_count() or 1,
+        "connections": CONNECTIONS,
+        "depth": DEPTH,
+        "duration_s_target": DURATION_S,
+    }
+
+    # warm-up: first connections pay interpreter warm-up and page faults
+    run_loadgen(
+        "127.0.0.1", handle.port, n_segments=n_segments,
+        mode="single", duration_s=0.5, connections=CONNECTIONS, depth=DEPTH,
+    )
+
+    rows = []
+    for mode in ("single", "batch"):
+        report = run_loadgen(
+            "127.0.0.1",
+            handle.port,
+            n_segments=n_segments,
+            mode=mode,
+            duration_s=DURATION_S,
+            connections=CONNECTIONS,
+            depth=DEPTH,
+            batch_size=BATCH_SIZE,
+            seed=1,
+        )
+        assert report.n_errors == 0, f"{mode}: {report.n_errors} failed requests"
+        payload[mode] = report.to_dict()
+        rows.append(
+            [
+                mode,
+                report.n_requests,
+                round(report.qps),
+                round(report.lookups_per_s),
+                report.p50_s * 1e3,
+                report.p99_s * 1e3,
+            ]
+        )
+
+    print_table(
+        f"serving throughput ({DATASET}, {n_segments} segments, "
+        f"{CONNECTIONS}x{DEPTH} in flight)",
+        ["mode", "requests", "qps", "lookups/s", "p50_ms", "p99_ms"],
+        rows,
+    )
+
+    single = payload["single"]
+    # the acceptance floors (single-lookup traffic, one machine)
+    assert single["lookups_per_s"] >= LOOKUPS_PER_S_FLOOR, (
+        f"sustained {single['lookups_per_s']:.0f} lookups/s "
+        f"< floor {LOOKUPS_PER_S_FLOOR}"
+    )
+    assert single["latency_p99_s"] < P99_CEILING_S, (
+        f"p99 {single['latency_p99_s'] * 1e3:.2f} ms "
+        f">= ceiling {P99_CEILING_S * 1e3:.0f} ms"
+    )
+    # batching must amortise: strictly more lookups/s than single mode
+    assert payload["batch"]["lookups_per_s"] > single["lookups_per_s"]
+
+    # every batch answered from exactly one epoch (server-side metric
+    # sanity: the store only ever published one epoch here)
+    assert store.last_epoch == 1
+
+    results_path = save_results("bench_serving", payload)
+    with open(ROOT_RESULTS, "w", encoding="utf-8") as fh:
+        json.dump(
+            json.loads(Path(results_path).read_text(encoding="utf-8")), fh, indent=2
+        )

@@ -37,6 +37,14 @@ Subcommands
 ``obs diff``
     Rank frame-level CPU deltas between two speedscope profiles
     (before/after a change).
+``serve``
+    Partition a dataset (or load a saved ``PartitioningResult``) and
+    serve segment→region lookups over HTTP with snapshot epochs; with
+    ``--updates`` the incremental repartitioner publishes new epochs
+    while serving.
+``loadgen``
+    Drive a running partition server with pipelined lookups and report
+    sustained QPS and latency quantiles.
 
 ``partition`` also accepts ``--profile-out`` / ``--profile-hz`` /
 ``--profile-memory`` to profile any normal run in place.
@@ -317,6 +325,82 @@ def _build_parser() -> argparse.ArgumentParser:
     pdiff.add_argument("new", help="new speedscope profile JSON")
     pdiff.add_argument(
         "--top", type=int, default=20, help="rows to print (default 20)"
+    )
+
+    srv = sub.add_parser(
+        "serve", help="serve partition lookups over HTTP (snapshot epochs)"
+    )
+    srv.add_argument(
+        "dataset",
+        help=f"built-in dataset name ({', '.join(dataset_names())}) "
+        "or path to a network JSON file",
+    )
+    srv.add_argument("-k", type=int, default=6, help="number of partitions")
+    srv.add_argument(
+        "--scheme", choices=SCHEMES, default="ASG", help="partitioning scheme"
+    )
+    srv.add_argument("--seed", type=int, default=0, help="random seed")
+    srv.add_argument(
+        "--result",
+        default=None,
+        help="serve a saved PartitioningResult JSON (from save_result) "
+        "instead of partitioning at startup; k/scheme/seed are ignored",
+    )
+    srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    srv.add_argument(
+        "--port", type=int, default=0, help="bind port (0 = pick a free port)"
+    )
+    srv.add_argument(
+        "--updates",
+        type=int,
+        default=0,
+        help="publish this many incremental-repartitioner epochs while "
+        "serving, from drifting synthetic densities (0 = static epoch)",
+    )
+    srv.add_argument(
+        "--update-interval",
+        type=float,
+        default=2.0,
+        help="seconds between incremental updates (with --updates)",
+    )
+
+    lg = sub.add_parser(
+        "loadgen", help="drive a running partition server and report QPS/latency"
+    )
+    lg.add_argument("--host", default="127.0.0.1", help="server address")
+    lg.add_argument("--port", type=int, required=True, help="server port")
+    lg.add_argument(
+        "--segments",
+        type=int,
+        default=None,
+        help="segment id space to draw lookups from (default: ask the "
+        "server's /epoch endpoint)",
+    )
+    lg.add_argument(
+        "--mode",
+        choices=("single", "batch", "point"),
+        default="single",
+        help="request shape: single GET lookups, POST batches, or "
+        "point (x,y) lookups",
+    )
+    lg.add_argument(
+        "--duration", type=float, default=2.0, help="run length in seconds"
+    )
+    lg.add_argument(
+        "--connections", type=int, default=4, help="concurrent connections"
+    )
+    lg.add_argument(
+        "--depth", type=int, default=32, help="pipelined requests per connection"
+    )
+    lg.add_argument(
+        "--batch-size", type=int, default=64, help="ids per request in batch mode"
+    )
+    lg.add_argument("--seed", type=int, default=0, help="lookup id seed")
+    lg.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    lg.add_argument(
+        "--out", default=None, help="also write the report JSON to this path"
     )
     return parser
 
@@ -671,6 +755,176 @@ def _cmd_obs_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Partition (or load) a network and serve lookups until SIGTERM.
+
+    Prints one JSON status line to stdout once the socket is bound —
+    ``{"status": "serving", "url": ..., "port": ..., ...}`` — so
+    wrappers (the e2e test, ``make serve-demo``) can discover the
+    ephemeral port; everything else goes to stderr.
+    """
+    from repro.pipeline.incremental import IncrementalRepartitioner
+    from repro.serve import PartitionServer, SegmentIndex, SnapshotStore
+    from repro.serve.snapshot import attach_repartitioner
+    from repro.shard.spatial import segment_midpoints
+
+    if args.dataset in dataset_names():
+        network, densities = load_dataset(args.dataset, seed=args.seed)
+    else:
+        network = load_network_json(args.dataset)
+        densities = network.densities()
+    graph = build_road_graph(network).with_features(densities)
+    points = segment_midpoints(network)
+
+    store = SnapshotStore()
+    if args.result:
+        from repro.pipeline.persistence import load_result
+
+        result = load_result(args.result)
+        if result.labels.size != network.n_segments:
+            _diag(
+                f"result has {result.labels.size} labels but the network "
+                f"has {network.n_segments} segments"
+            )
+            return 1
+        store.publish(
+            SegmentIndex(
+                result.labels,
+                points=points,
+                adjacency=graph.adjacency,
+                features=densities,
+            ),
+            meta={"source": str(args.result), "scheme": result.scheme},
+        )
+        repartitioner = None
+    else:
+        _diag(
+            f"partitioning {args.dataset} with {args.scheme} k={args.k} ..."
+        )
+        repartitioner = IncrementalRepartitioner(
+            graph, k=args.k, scheme=args.scheme, seed=args.seed
+        )
+        attach_repartitioner(store, repartitioner, points=points)
+        repartitioner.bootstrap(densities)  # publishes epoch 1 via the hook
+
+    server = PartitionServer(store, host=args.host, port=args.port)
+    updater = None
+    stop_updates = None
+    if args.updates > 0:
+        if repartitioner is None:
+            _diag("--updates needs a live repartitioner; drop --result")
+            return 1
+        import threading
+
+        stop_updates = threading.Event()
+
+        def drift_loop() -> None:
+            rng = np.random.default_rng(args.seed)
+            current = np.asarray(densities, dtype=float).copy()
+            for __ in range(args.updates):
+                if stop_updates.wait(args.update_interval):
+                    return
+                current = np.maximum(
+                    current * rng.uniform(0.6, 1.5, size=current.shape), 1e-6
+                )
+                try:
+                    repartitioner.update(current)
+                except Exception as exc:  # keep serving on update failure
+                    _diag(f"incremental update failed: {exc}")
+
+        updater = threading.Thread(
+            target=drift_loop, name="repro-serve-updater", daemon=True
+        )
+
+    async def _serve() -> None:
+        import signal
+
+        await server.start()
+        snap = store.current()
+        print(
+            json.dumps(
+                {
+                    "status": "serving",
+                    "url": server.url,
+                    "host": args.host,
+                    "port": server.port,
+                    "dataset": args.dataset,
+                    "n_segments": snap.index.n_segments,
+                    "k": snap.index.k,
+                    "epoch": snap.epoch,
+                }
+            ),
+            flush=True,
+        )
+        if updater is not None:
+            updater.start()
+        loop = __import__("asyncio").get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, server.request_shutdown)
+            except (NotImplementedError, RuntimeError):
+                pass
+        await server.serve_until_shutdown()
+
+    import asyncio
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if stop_updates is not None:
+            stop_updates.set()
+        store.close()
+    _diag("server stopped")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a running server; print a throughput/latency report."""
+    from repro.serve.loadgen import run_loadgen
+
+    n_segments = args.segments
+    if n_segments is None:
+        import urllib.request
+
+        url = f"http://{args.host}:{args.port}/epoch"
+        try:
+            with urllib.request.urlopen(url, timeout=10) as resp:
+                n_segments = int(json.loads(resp.read())["n_segments"])
+        except OSError as exc:
+            _diag(f"cannot reach {url}: {exc}")
+            return 1
+    report = run_loadgen(
+        host=args.host,
+        port=args.port,
+        n_segments=n_segments,
+        mode=args.mode,
+        duration_s=args.duration,
+        connections=args.connections,
+        depth=args.depth,
+        batch_size=args.batch_size,
+        seed=args.seed,
+    )
+    payload = report.to_dict()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        _diag(f"wrote report to {args.out}")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"mode        : {report.mode}")
+        print(f"requests    : {report.n_requests} ({report.n_errors} errors)")
+        print(f"duration    : {report.duration_s:.2f}s")
+        print(f"qps         : {report.qps:,.0f}")
+        print(f"lookups/s   : {report.lookups_per_s:,.0f}")
+        print(f"p50 latency : {report.p50_s * 1e3:.3f} ms")
+        print(f"p90 latency : {report.p90_s * 1e3:.3f} ms")
+        print(f"p99 latency : {report.p99_s * 1e3:.3f} ms")
+    return 0 if report.n_errors == 0 else 1
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     handlers = {
         "report": _cmd_obs_report,
@@ -694,6 +948,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "bench": _cmd_bench_compare,
         "obs": _cmd_obs,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
     }
     return handlers[args.command](args)
 

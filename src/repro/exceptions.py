@@ -34,3 +34,12 @@ class PartitioningError(ReproError):
 
 class DataError(ReproError):
     """Raised when traffic or density data is missing or inconsistent."""
+
+
+class ServeError(ReproError):
+    """Raised by the partition-serving layer (:mod:`repro.serve`).
+
+    Typical causes: a lookup outside the segment id range, a query
+    needing geometry on an index built without coordinates, or a
+    snapshot store operated before its first epoch was published.
+    """

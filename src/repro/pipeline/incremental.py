@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -110,6 +110,7 @@ class IncrementalRepartitioner:
         self._seed = seed
         self._labels: Optional[np.ndarray] = None
         self._region_means: Optional[np.ndarray] = None
+        self._listeners: List[Callable] = []
 
     @property
     def labels(self) -> Optional[np.ndarray]:
@@ -126,6 +127,42 @@ class IncrementalRepartitioner:
         """The global partition-count target."""
         return self._k
 
+    def subscribe(self, listener: Callable) -> Callable[[], None]:
+        """Register an epoch-publish hook; returns an unsubscriber.
+
+        ``listener(labels, densities, report)`` fires after every
+        :meth:`bootstrap` (``report=None``) and :meth:`update` with a
+        private copy of the new label vector and the densities that
+        produced it — this is how a
+        :class:`repro.serve.snapshot.SnapshotStore` learns about new
+        epochs without the pipeline knowing the serving layer exists.
+        Listener exceptions are logged, never raised: a broken
+        subscriber must not take the repartitioning loop down.
+        """
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def _notify(
+        self,
+        densities: np.ndarray,
+        report: Optional[UpdateReport],
+    ) -> None:
+        if not self._listeners:
+            return
+        labels = self._labels.copy()
+        for listener in list(self._listeners):
+            try:
+                listener(labels, densities, report)
+            except Exception:
+                logger.exception("epoch-publish listener failed; continuing")
+
     def bootstrap(self, densities: Sequence[float]) -> np.ndarray:
         """Full global partitioning at the first timestamp."""
         densities = self._check_densities(densities)
@@ -133,6 +170,7 @@ class IncrementalRepartitioner:
         result = run_scheme(self._scheme, g0, self._k, seed=self._seed)
         self._labels = result.labels.copy()
         self._region_means = self._means(densities, self._labels)
+        self._notify(densities, None)
         return self._labels.copy()
 
     def update(self, densities: Sequence[float]) -> UpdateReport:
@@ -164,12 +202,14 @@ class IncrementalRepartitioner:
             duration = time.perf_counter() - started
             observe("incremental.update_latency_s", duration)
             incr("incremental.segments_relabelled", 0)  # keep the series present
-            return UpdateReport(
+            report = UpdateReport(
                 refreshed=[],
                 kept=list(range(n_regions)),
                 labels=labels.copy(),
                 duration_s=duration,
             )
+            self._notify(densities, report)
+            return report
 
         # repartition each stale region locally; a stale region of
         # size share s gets max(1, round(k * s)) local parts, keeping
@@ -209,13 +249,15 @@ class IncrementalRepartitioner:
         duration = time.perf_counter() - started
         observe("incremental.update_latency_s", duration)
         incr("incremental.segments_relabelled", n_relabelled)
-        return UpdateReport(
+        report = UpdateReport(
             refreshed=stale,
             kept=[r for r in range(n_regions) if r not in stale],
             labels=self._labels.copy(),
             duration_s=duration,
             n_relabelled=n_relabelled,
         )
+        self._notify(densities, report)
+        return report
 
     # ------------------------------------------------------------------
     def _check_densities(self, densities) -> np.ndarray:

@@ -1,0 +1,368 @@
+"""Closed-loop load generator for the partition server.
+
+Measures what the acceptance bar asks for — sustained single-lookup
+throughput and tail latency against a live :class:`~repro.serve.server.
+PartitionServer` — with the same stdlib-only footprint as the server:
+an ``asyncio.Protocol`` HTTP/1.1 client that keeps ``connections``
+sockets open and up to ``depth`` pipelined requests in flight on each.
+
+The pipeline depth is the load knob: total in-flight requests is
+``connections * depth``, and by Little's law the measured p50 latency
+is roughly ``in_flight / throughput``. Latency is measured per
+request: a FIFO deque of send timestamps on each connection is matched
+against response arrivals (HTTP/1.1 pipelining guarantees in-order
+responses), so the reported quantiles include queueing inside the
+pipeline — the honest client-side number.
+
+:func:`run_loadgen` is the sync entry point used by ``repro loadgen``
+and ``benchmarks/test_bench_serving.py``; it returns a
+:class:`LoadReport` whose :meth:`~LoadReport.to_dict` matches the
+``BENCH_serving.json`` schema.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Deque, Dict, List, Optional, Sequence
+
+from collections import deque
+
+from repro.exceptions import ServeError
+from repro.obs.export import quantile_from_latencies
+from repro.obs.logs import get_logger
+
+__all__ = ["LoadReport", "run_loadgen"]
+
+logger = get_logger("serve.loadgen")
+
+_MODES = ("single", "batch", "point")
+
+
+class LoadReport:
+    """Aggregated result of one load-generation run."""
+
+    def __init__(
+        self,
+        mode: str,
+        duration_s: float,
+        n_requests: int,
+        n_lookups: int,
+        n_errors: int,
+        latencies_s: Sequence[float],
+        connections: int,
+        depth: int,
+        batch_size: int = 1,
+    ) -> None:
+        self.mode = mode
+        self.duration_s = float(duration_s)
+        self.n_requests = int(n_requests)
+        self.n_lookups = int(n_lookups)
+        self.n_errors = int(n_errors)
+        self.connections = int(connections)
+        self.depth = int(depth)
+        self.batch_size = int(batch_size)
+        lat = sorted(float(v) for v in latencies_s)
+        self._latencies = lat
+        self.p50_s = quantile_from_latencies(lat, 0.50)
+        self.p90_s = quantile_from_latencies(lat, 0.90)
+        self.p99_s = quantile_from_latencies(lat, 0.99)
+        self.max_s = lat[-1] if lat else 0.0
+        self.mean_s = sum(lat) / len(lat) if lat else 0.0
+
+    @property
+    def qps(self) -> float:
+        """Requests completed per second."""
+        return self.n_requests / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def lookups_per_s(self) -> float:
+        """Segment lookups answered per second (= qps * batch size)."""
+        return self.n_lookups / self.duration_s if self.duration_s > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "connections": self.connections,
+            "depth": self.depth,
+            "batch_size": self.batch_size,
+            "duration_s": self.duration_s,
+            "n_requests": self.n_requests,
+            "n_lookups": self.n_lookups,
+            "n_errors": self.n_errors,
+            "qps": self.qps,
+            "lookups_per_s": self.lookups_per_s,
+            "latency_p50_s": self.p50_s,
+            "latency_p90_s": self.p90_s,
+            "latency_p99_s": self.p99_s,
+            "latency_mean_s": self.mean_s,
+            "latency_max_s": self.max_s,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LoadReport(mode={self.mode!r}, qps={self.qps:.0f}, "
+            f"lookups/s={self.lookups_per_s:.0f}, p50={self.p50_s * 1e3:.2f}ms, "
+            f"p99={self.p99_s * 1e3:.2f}ms, errors={self.n_errors})"
+        )
+
+
+class _ClientProtocol(asyncio.Protocol):
+    """One pipelined connection: keep ``depth`` requests in flight."""
+
+    __slots__ = (
+        "request",
+        "depth",
+        "deadline",
+        "latencies",
+        "errors",
+        "done",
+        "transport",
+        "buf",
+        "sent_at",
+        "n_completed",
+        "closing",
+    )
+
+    def __init__(
+        self,
+        request: bytes,
+        depth: int,
+        deadline: float,
+        latencies: List[float],
+        done: "asyncio.Future[None]",
+    ) -> None:
+        self.request = request
+        self.depth = depth
+        self.deadline = deadline
+        self.latencies = latencies
+        self.errors = 0
+        self.done = done
+        self.transport: Optional[asyncio.Transport] = None
+        self.buf = b""
+        self.sent_at: Deque[float] = deque()
+        self.n_completed = 0
+        self.closing = False
+
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        import socket as _socket
+
+        self.transport = transport  # type: ignore[assignment]
+        sock = transport.get_extra_info("socket")
+        if sock is not None:
+            try:
+                sock.setsockopt(_socket.IPPROTO_TCP, _socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover
+                pass
+        now = time.perf_counter()
+        burst = self.request * self.depth
+        for _ in range(self.depth):
+            self.sent_at.append(now)
+        self.transport.write(burst)
+
+    def data_received(self, data: bytes) -> None:
+        self.buf += data
+        now = time.perf_counter()
+        refill = 0
+        while True:
+            head_end = self.buf.find(b"\r\n\r\n")
+            if head_end < 0:
+                break
+            head = self.buf[:head_end]
+            length = _content_length(head)
+            if length is None:
+                self.errors += 1
+                self._finish()
+                return
+            total = head_end + 4 + length
+            if len(self.buf) < total:
+                break
+            status = head[9:12]
+            if status != b"200":
+                self.errors += 1
+            self.buf = self.buf[total:]
+            if self.sent_at:
+                self.latencies.append(now - self.sent_at.popleft())
+            self.n_completed += 1
+            refill += 1
+        if self.closing:
+            if not self.sent_at:
+                self._finish()
+            return
+        if now >= self.deadline:
+            # stop refilling; drain what is still in flight
+            self.closing = True
+            if not self.sent_at:
+                self._finish()
+            return
+        if refill:
+            sent = time.perf_counter()
+            for _ in range(refill):
+                self.sent_at.append(sent)
+            self.transport.write(self.request * refill)
+
+    def _finish(self) -> None:
+        if self.transport is not None:
+            self.transport.close()
+
+    def connection_lost(self, exc: Optional[Exception]) -> None:
+        if not self.done.done():
+            self.done.set_result(None)
+
+
+def _content_length(head: bytes) -> Optional[int]:
+    lower = head.lower()
+    idx = lower.find(b"content-length:")
+    if idx < 0:
+        return None
+    end = lower.find(b"\r\n", idx)
+    raw = head[idx + 15 : end if end >= 0 else len(head)]
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
+def _build_request(
+    host: str,
+    port: int,
+    mode: str,
+    n_segments: int,
+    batch_size: int,
+    seed: int,
+) -> bytes:
+    """One keep-alive request template for the chosen mode.
+
+    Every connection replays the same request; the segment ids are
+    seeded-random so distinct (connection, mode) runs do not all hit
+    segment 0, but a fixed template keeps the client's per-request
+    work to a ``bytes`` write — the generator must be cheaper than
+    the server it is measuring.
+    """
+    import random
+
+    rng = random.Random(seed)
+    host_header = f"Host: {host}:{port}\r\n".encode()
+    if mode == "single":
+        sid = rng.randrange(n_segments)
+        return (
+            b"GET /lookup?segment=%d HTTP/1.1\r\n" % sid
+            + host_header
+            + b"\r\n"
+        )
+    if mode == "batch":
+        ids = [rng.randrange(n_segments) for _ in range(batch_size)]
+        body = json.dumps({"segments": ids}).encode()
+        return (
+            b"POST /lookup/batch HTTP/1.1\r\n"
+            + host_header
+            + b"Content-Type: application/json\r\n"
+            + b"Content-Length: %d\r\n\r\n" % len(body)
+            + body
+        )
+    if mode == "point":
+        x, y = rng.random(), rng.random()
+        return (
+            f"GET /lookup?x={x:.6f}&y={y:.6f} HTTP/1.1\r\n".encode()
+            + host_header
+            + b"\r\n"
+        )
+    raise ServeError(f"unknown loadgen mode {mode!r}; expected one of {_MODES}")
+
+
+async def _run_async(
+    host: str,
+    port: int,
+    mode: str,
+    duration_s: float,
+    connections: int,
+    depth: int,
+    n_segments: int,
+    batch_size: int,
+    seed: int,
+) -> LoadReport:
+    loop = asyncio.get_running_loop()
+    latencies: List[float] = []
+    protos: List[_ClientProtocol] = []
+    deadline = time.perf_counter() + duration_s
+    t0 = time.perf_counter()
+    futures = []
+    for conn in range(connections):
+        request = _build_request(host, port, mode, n_segments, batch_size, seed + conn)
+        done: "asyncio.Future[None]" = loop.create_future()
+        proto = _ClientProtocol(request, depth, deadline, latencies, done)
+        await loop.create_connection(lambda p=proto: p, host, port)
+        protos.append(proto)
+        futures.append(done)
+    # hard timeout: duration + grace for the pipeline to drain
+    await asyncio.wait(futures, timeout=duration_s + 10.0)
+    elapsed = time.perf_counter() - t0
+    for proto in protos:
+        if proto.transport is not None:
+            proto.transport.close()
+    n_requests = sum(p.n_completed for p in protos)
+    n_errors = sum(p.errors for p in protos)
+    per_request = batch_size if mode == "batch" else 1
+    return LoadReport(
+        mode=mode,
+        duration_s=elapsed,
+        n_requests=n_requests,
+        n_lookups=n_requests * per_request,
+        n_errors=n_errors,
+        latencies_s=latencies,
+        connections=connections,
+        depth=depth,
+        batch_size=per_request,
+    )
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    n_segments: int,
+    mode: str = "single",
+    duration_s: float = 2.0,
+    connections: int = 4,
+    depth: int = 32,
+    batch_size: int = 64,
+    seed: int = 0,
+) -> LoadReport:
+    """Drive a running server and return a :class:`LoadReport`.
+
+    Parameters
+    ----------
+    host, port:
+        Where the :class:`~repro.serve.server.PartitionServer` listens.
+    n_segments:
+        Segment id space to draw lookup ids from (must not exceed the
+        served network's size, or every response is a 400).
+    mode:
+        ``"single"`` (``GET /lookup?segment=``), ``"batch"``
+        (``POST /lookup/batch`` of ``batch_size`` ids) or ``"point"``
+        (``GET /lookup?x=&y=``, needs a server with geometry).
+    duration_s, connections, depth:
+        Run length and concurrency; ``connections * depth`` requests
+        are in flight at any instant.
+    """
+    if mode not in _MODES:
+        raise ServeError(f"unknown loadgen mode {mode!r}; expected one of {_MODES}")
+    if n_segments <= 0:
+        raise ServeError("n_segments must be positive")
+    if duration_s <= 0 or connections <= 0 or depth <= 0:
+        raise ServeError("duration_s, connections and depth must be positive")
+    report = asyncio.run(
+        _run_async(
+            host=host,
+            port=int(port),
+            mode=mode,
+            duration_s=float(duration_s),
+            connections=int(connections),
+            depth=int(depth),
+            n_segments=int(n_segments),
+            batch_size=int(batch_size),
+            seed=int(seed),
+        )
+    )
+    logger.info("loadgen finished: %r", report)
+    return report

@@ -148,8 +148,13 @@ class TestAmbientTracer:
 class TestThreading:
     def test_spans_from_worker_threads_get_own_lane(self):
         tracer = Tracer()
+        # both workers must be alive at once: CPython reuses the thread
+        # ident of a finished thread, which would legitimately merge
+        # the lanes of sequential workers
+        barrier = threading.Barrier(2)
 
         def work():
+            barrier.wait(timeout=30)
             with tracer.span("worker"):
                 pass
 

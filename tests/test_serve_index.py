@@ -1,0 +1,161 @@
+"""SegmentIndex: served answers must equal the result's label array.
+
+The serving layer is only trustworthy if it is a pure view: for every
+partitioning scheme, every segment's served region must be *identical*
+to ``PartitioningResult.labels`` — including after an incremental
+``update()`` republished the epoch. These tests enumerate all schemes
+on the small fixture networks and compare exhaustively.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServeError
+from repro.network.dual import build_road_graph
+from repro.pipeline.incremental import IncrementalRepartitioner
+from repro.pipeline.schemes import SCHEMES, run_scheme
+from repro.serve import SegmentIndex, SnapshotStore
+from repro.serve.snapshot import attach_repartitioner
+from repro.shard.spatial import segment_midpoints
+
+
+class TestLookupCorrectness:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_every_segment_matches_result_labels(self, small_grid_graph, scheme):
+        result = run_scheme(scheme, small_grid_graph, 4, seed=0)
+        index = SegmentIndex.from_result(result, graph=small_grid_graph)
+        for segment in range(small_grid_graph.n_nodes):
+            assert index.region_of(segment) == int(result.labels[segment])
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_batch_matches_result_labels(self, small_grid_graph, scheme):
+        result = run_scheme(scheme, small_grid_graph, 4, seed=1)
+        index = SegmentIndex.from_result(result, graph=small_grid_graph)
+        ids = np.arange(small_grid_graph.n_nodes)
+        np.testing.assert_array_equal(index.regions_of(ids), result.labels)
+        # arbitrary order and repetition are fine too
+        shuffled = np.array([5, 0, 5, 17, 3])
+        np.testing.assert_array_equal(
+            index.regions_of(shuffled), result.labels[shuffled]
+        )
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_point_lookup_resolves_to_nearest_midpoint(
+        self, small_grid, small_grid_graph, scheme
+    ):
+        result = run_scheme(scheme, small_grid_graph, 4, seed=0)
+        index = SegmentIndex.from_result(
+            result, network=small_grid, graph=small_grid_graph
+        )
+        points = segment_midpoints(small_grid)
+        # querying exactly at a midpoint must return that segment's region
+        for segment in range(0, small_grid.n_segments, 7):
+            found = index.lookup_point(*points[segment])
+            assert found["region"] == int(result.labels[found["segment"]])
+            assert np.allclose(points[found["segment"]], points[segment])
+
+    def test_out_of_range_lookups_raise(self, small_grid_graph):
+        result = run_scheme("AG", small_grid_graph, 3, seed=0)
+        index = SegmentIndex.from_result(result, graph=small_grid_graph)
+        with pytest.raises(ServeError):
+            index.region_of(-1)
+        with pytest.raises(ServeError):
+            index.region_of(small_grid_graph.n_nodes)
+        with pytest.raises(ServeError):
+            index.regions_of([0, small_grid_graph.n_nodes])
+
+    def test_labels_are_immutable(self, small_grid_graph):
+        result = run_scheme("NG", small_grid_graph, 3, seed=0)
+        index = SegmentIndex.from_result(result, graph=small_grid_graph)
+        with pytest.raises(ValueError):
+            index.labels[0] = 99
+        # and the index is isolated from mutation of the source array
+        result.labels[0] = 99
+        assert index.region_of(0) != 99 or int(result.labels[0]) == 99
+
+
+class TestRegionQueries:
+    def test_boundary_segments_have_foreign_neighbours(self, small_grid_graph):
+        result = run_scheme("ASG", small_grid_graph, 4, seed=0)
+        index = SegmentIndex.from_result(result, graph=small_grid_graph)
+        adj = small_grid_graph.adjacency.tocsr()
+        labels = result.labels
+        mask = index.boundary_mask()
+        for segment in range(small_grid_graph.n_nodes):
+            neighbours = adj.indices[adj.indptr[segment] : adj.indptr[segment + 1]]
+            has_foreign = bool(
+                (labels[neighbours] != labels[segment]).any()
+            )
+            assert bool(mask[segment]) == has_foreign
+
+    def test_region_sizes_match_bincount(self, small_grid_graph):
+        result = run_scheme("JG", small_grid_graph, 4, seed=0)
+        index = SegmentIndex.from_result(result, graph=small_grid_graph)
+        np.testing.assert_array_equal(
+            index.region_sizes(), np.bincount(result.labels, minlength=index.k)
+        )
+
+    def test_region_info_fields(self, small_grid, small_grid_graph):
+        result = run_scheme("ASG", small_grid_graph, 3, seed=0)
+        index = SegmentIndex.from_result(
+            result, network=small_grid, graph=small_grid_graph
+        )
+        info = index.region_info(0)
+        assert info["region"] == 0
+        assert info["n_segments"] == int((result.labels == 0).sum())
+        assert {"x_min", "y_min", "x_max", "y_max"} <= set(info["bbox"])
+        assert info["mean_density"] == pytest.approx(
+            float(np.asarray(small_grid_graph.features)[result.labels == 0].mean())
+        )
+
+    def test_quality_matches_result_evaluate(self, small_grid_graph):
+        result = run_scheme("ASG", small_grid_graph, 4, seed=0)
+        index = SegmentIndex.from_result(result, graph=small_grid_graph)
+        quality = index.quality()
+        expected = result.evaluate(small_grid_graph)
+        for name in ("inter", "intra", "gdbi", "ans"):
+            assert quality[name] == pytest.approx(expected[name])
+
+
+class TestIncrementalRoundTrip:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_served_labels_track_update(self, small_grid_graph, scheme):
+        """After bootstrap + update, the published epoch equals the
+        repartitioner's current labels — the full round-trip the
+        tentpole promises."""
+        store = SnapshotStore()
+        repartitioner = IncrementalRepartitioner(
+            small_grid_graph, k=4, scheme=scheme, seed=0
+        )
+        attach_repartitioner(store, repartitioner)
+        densities = np.asarray(small_grid_graph.features, dtype=float)
+
+        repartitioner.bootstrap(densities)
+        snap1 = store.current()
+        np.testing.assert_array_equal(snap1.index.labels, repartitioner.labels)
+
+        # a strong localized density shift forces at least staleness checks
+        shifted = densities.copy()
+        shifted[: len(shifted) // 3] *= 10.0
+        report = repartitioner.update(shifted)
+        snap2 = store.current()
+        assert snap2.epoch == snap1.epoch + 1
+        np.testing.assert_array_equal(snap2.index.labels, report.labels)
+        np.testing.assert_array_equal(snap2.index.labels, repartitioner.labels)
+        for segment in range(small_grid_graph.n_nodes):
+            assert snap2.index.region_of(segment) == int(report.labels[segment])
+        store.close()
+
+    def test_unsubscribe_stops_publishing(self, small_grid_graph):
+        store = SnapshotStore()
+        repartitioner = IncrementalRepartitioner(
+            small_grid_graph, k=3, scheme="AG", seed=0
+        )
+        unsubscribe = attach_repartitioner(store, repartitioner)
+        densities = np.asarray(small_grid_graph.features, dtype=float)
+        repartitioner.bootstrap(densities)
+        assert store.last_epoch == 1
+        unsubscribe()
+        repartitioner.update(densities * 100.0)
+        assert store.last_epoch == 1  # no new epoch after unsubscribe
+        store.close()

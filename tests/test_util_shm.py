@@ -1,13 +1,13 @@
 """ShardContext: zero-copy semantics and shared-memory lifecycle.
 
-The lifecycle tests patch ``SharedMemory`` creation to track every
-OS-level block name this process allocates, then assert each one was
-unlinked — on success, on worker exceptions, and on KeyboardInterrupt.
-A leaked block would outlive the interpreter (it lives in /dev/shm),
-so these tests are the no-leak guarantee of the whole data plane.
+The lifecycle tests run under the shared ``shm_tracker`` fixture
+(``tests/conftest.py``), which patches ``SharedMemory`` creation to
+track every OS-level block name this process allocates, then asserts
+each one was unlinked — on success, on worker exceptions, and on
+KeyboardInterrupt. A leaked block would outlive the interpreter (it
+lives in /dev/shm), so these tests are the no-leak guarantee of the
+whole data plane.
 """
-
-from multiprocessing import shared_memory
 
 import numpy as np
 import pytest
@@ -16,31 +16,6 @@ import scipy.sparse as sp
 from repro.exceptions import ReproError
 from repro.util.parallel import map_parallel
 from repro.util.shm import ShardContext, active_shard, set_worker_shard, use_shard
-
-
-@pytest.fixture
-def shm_tracker(monkeypatch):
-    """Track created SharedMemory block names; fail the test on leaks."""
-    created = []
-    original = shared_memory.SharedMemory
-
-    class TrackingSharedMemory(original):
-        def __init__(self, *args, **kwargs):
-            super().__init__(*args, **kwargs)
-            if kwargs.get("create") or (args and args[0] is None):
-                created.append(self.name)
-
-    monkeypatch.setattr(shared_memory, "SharedMemory", TrackingSharedMemory)
-    yield created
-    leaked = []
-    for name in created:
-        try:
-            block = original(name=name)
-        except FileNotFoundError:
-            continue  # unlinked, as it should be
-        block.close()
-        leaked.append(name)
-    assert not leaked, f"leaked shared-memory blocks: {leaked}"
 
 
 class TestRegistrationAndAccess:
