@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench bench-full bench-hotpaths bench-obs bench-scaling bench-scaling-full bench-serving bench-compare serve-demo obs-report trace-demo profile-demo profile-demo-process examples docs-check all
+.PHONY: install test bench bench-full bench-hotpaths bench-obs bench-scaling bench-scaling-full bench-serving bench-compare serve-demo slo-demo obs-report trace-demo profile-demo profile-demo-process examples docs-check all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -50,6 +50,23 @@ serve-demo:
 	status=$$?; \
 	kill -TERM $$SERVER_PID; wait $$SERVER_PID; \
 	exit $$status
+
+# SLO burn demo: a deliberately slow server (50 ms injected against a
+# 10 ms latency objective) burns its error budget under load, and
+# `repro obs slo` exits 1 — the scriptable gate CI uses.
+slo-demo:
+	@python -m repro serve D1 -k 4 --port 0 --slo-latency-ms 10 \
+		--inject-slow-ms 50 --record-live > slo-status.json & \
+	SERVER_PID=$$!; \
+	for i in $$(seq 1 50); do [ -s slo-status.json ] && break; sleep 0.2; done; \
+	PORT=$$(python -c "import json; print(json.load(open('slo-status.json'))['port'])"); \
+	echo "server on port $$PORT (slo-status.json)"; \
+	python -m repro loadgen --port $$PORT --duration 2 --connections 2 --depth 4; \
+	python -m repro obs slo --port $$PORT; \
+	slo_status=$$?; \
+	kill -TERM $$SERVER_PID; wait $$SERVER_PID; \
+	echo "obs slo exit code: $$slo_status (1 = burning, as intended)"; \
+	[ $$slo_status -eq 1 ]
 
 # Flight-recorder report from the trace-demo artifacts.
 obs-report: trace-demo

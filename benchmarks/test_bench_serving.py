@@ -137,6 +137,53 @@ def test_bench_serving(serving_stack):
     # sanity: the store only ever published one epoch here)
     assert store.last_epoch == 1
 
+    # --- telemetry overhead: the same single-lookup traffic against a
+    # server with the full request-telemetry plane attached (SLO
+    # tracker + request tracing). The batched per-group design must
+    # keep the fast path within 5% of the untraced throughput.
+    from repro.obs.slo import SLOTracker, default_objectives
+    from repro.obs.trace import Tracer
+
+    traced_server = PartitionServer(
+        store, slo=SLOTracker(default_objectives(P99_CEILING_S)), tracer=Tracer()
+    )
+    traced_handle = traced_server.start_background()
+    try:
+        run_loadgen(  # warm-up, same as the untraced server got
+            "127.0.0.1", traced_handle.port, n_segments=n_segments,
+            mode="single", duration_s=0.5, connections=CONNECTIONS, depth=DEPTH,
+        )
+        traced = run_loadgen(
+            "127.0.0.1",
+            traced_handle.port,
+            n_segments=n_segments,
+            mode="single",
+            duration_s=DURATION_S,
+            connections=CONNECTIONS,
+            depth=DEPTH,
+            seed=1,
+        )
+        assert traced.n_errors == 0
+        assert traced_server.slo.burning() is False  # fast path within SLO
+    finally:
+        traced_handle.stop()
+    payload["traced"] = traced.to_dict()
+    overhead = 1.0 - traced.lookups_per_s / max(single["lookups_per_s"], 1e-9)
+    payload["traced_overhead_frac"] = overhead
+    print_table(
+        "request-telemetry overhead (single mode)",
+        ["server", "lookups/s", "p99_ms"],
+        [
+            ["untraced", round(single["lookups_per_s"]),
+             single["latency_p99_s"] * 1e3],
+            ["traced+slo", round(traced.lookups_per_s), traced.p99_s * 1e3],
+        ],
+    )
+    assert traced.lookups_per_s >= 0.95 * single["lookups_per_s"], (
+        f"telemetry overhead {overhead:.1%} exceeds the 5% budget "
+        f"({traced.lookups_per_s:.0f} vs {single['lookups_per_s']:.0f} lookups/s)"
+    )
+
     results_path = save_results("bench_serving", payload)
     with open(ROOT_RESULTS, "w", encoding="utf-8") as fh:
         json.dump(

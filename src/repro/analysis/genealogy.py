@@ -54,6 +54,27 @@ class Transition:
     appeared: List[int] = field(default_factory=list)
     disappeared: List[int] = field(default_factory=list)
 
+    def counts(self) -> Dict[str, int]:
+        """Event counts per kind — the live telemetry's per-epoch summary."""
+        return {
+            "continuations": len(self.continuations),
+            "splits": len(self.splits),
+            "merges": len(self.merges),
+            "appeared": len(self.appeared),
+            "disappeared": len(self.disappeared),
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able form (dashboard / flight-recorder payloads)."""
+        return {
+            "continuations": [[int(a), int(b)] for a, b in self.continuations],
+            "splits": {int(a): [int(b) for b in bs] for a, bs in self.splits.items()},
+            "merges": {int(b): [int(a) for a in as_] for b, as_ in self.merges.items()},
+            "appeared": [int(b) for b in self.appeared],
+            "disappeared": [int(a) for a in self.disappeared],
+            "counts": self.counts(),
+        }
+
 
 def overlap_matrix(previous, current) -> np.ndarray:
     """Node-count overlap between old regions (rows) and new (columns)."""

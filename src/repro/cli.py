@@ -37,14 +37,23 @@ Subcommands
 ``obs diff``
     Rank frame-level CPU deltas between two speedscope profiles
     (before/after a change).
+``obs slo``
+    Query a running server's ``/slo`` endpoint and report the
+    error-budget state; exits non-zero while any objective is burning
+    (the CI serve-smoke job uses this as its SLO gate).
 ``serve``
     Partition a dataset (or load a saved ``PartitioningResult``) and
     serve segment→region lookups over HTTP with snapshot epochs; with
     ``--updates`` the incremental repartitioner publishes new epochs
-    while serving.
+    while serving. ``--slo-latency-ms`` attaches availability/latency
+    objectives (``/slo`` + burn-rate gauges), ``--record-live``
+    samples the server gauges into the ring-buffer time-series store
+    behind ``/dashboard``, and ``--access-log-sample`` emits sampled
+    structured access logs.
 ``loadgen``
     Drive a running partition server with pipelined lookups and report
-    sustained QPS and latency quantiles.
+    sustained QPS and latency quantiles (plus the server's post-run
+    error-budget state when it serves ``/slo``).
 
 ``partition`` also accepts ``--profile-out`` / ``--profile-hz`` /
 ``--profile-memory`` to profile any normal run in place.
@@ -263,6 +272,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="speedscope profile JSON (from --profile-out / obs profile); "
         "adds the CPU flame-graph pane",
     )
+    rep.add_argument(
+        "--live",
+        default=None,
+        help="live-telemetry JSON (from serve --live-out); adds the "
+        "time-series sparkline pane",
+    )
 
     prof = obs_sub.add_parser(
         "profile",
@@ -327,6 +342,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=20, help="rows to print (default 20)"
     )
 
+    slo_q = obs_sub.add_parser(
+        "slo", help="query a running server's /slo error-budget state"
+    )
+    slo_q.add_argument("--host", default="127.0.0.1", help="server address")
+    slo_q.add_argument("--port", type=int, required=True, help="server port")
+    slo_q.add_argument(
+        "--json", action="store_true", help="emit the raw /slo JSON"
+    )
+
     srv = sub.add_parser(
         "serve", help="serve partition lookups over HTTP (snapshot epochs)"
     )
@@ -362,6 +386,46 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=2.0,
         help="seconds between incremental updates (with --updates)",
+    )
+    srv.add_argument(
+        "--slo-latency-ms",
+        type=float,
+        default=None,
+        help="attach availability + latency SLOs with this per-request "
+        "latency threshold; enables /slo, slo.* gauges and request "
+        "tracing (/trace)",
+    )
+    srv.add_argument(
+        "--record-live",
+        action="store_true",
+        help="sample server gauges into the bounded time-series store "
+        "(enables the /dashboard sparklines and --live-out)",
+    )
+    srv.add_argument(
+        "--live-hz",
+        type=float,
+        default=2.0,
+        help="live-recorder sampling frequency in Hz (default 2)",
+    )
+    srv.add_argument(
+        "--live-out",
+        default=None,
+        help="write the live time-series store as JSON on shutdown "
+        "(feed it to `obs report --live`); implies --record-live",
+    )
+    srv.add_argument(
+        "--access-log-sample",
+        type=float,
+        default=0.0,
+        help="probability in [0, 1] of logging each request group on "
+        "the structured stderr log (level info; default 0 = off)",
+    )
+    srv.add_argument(
+        "--inject-slow-ms",
+        type=float,
+        default=0.0,
+        help="artificially delay every request group by this many "
+        "milliseconds (SLO burn-rate demos and tests only)",
     )
 
     lg = sub.add_parser(
@@ -671,6 +735,7 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
             args.out,
             title=args.title,
             profile_path=args.profile,
+            live_path=args.live,
         )
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         _diag(f"report failed: {exc}")
@@ -755,6 +820,55 @@ def _cmd_obs_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fetch_slo(host: str, port: int, timeout: float = 10.0) -> Optional[dict]:
+    """GET ``/slo`` from a running server; None when unreachable."""
+    import urllib.request
+
+    url = f"http://{host}:{port}/slo"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return json.loads(resp.read())
+    except (OSError, ValueError, json.JSONDecodeError):
+        return None
+
+
+def _cmd_obs_slo(args: argparse.Namespace) -> int:
+    """Report a running server's error-budget state.
+
+    Exit codes: 0 within budget, 1 burning, 2 unreachable or the
+    server has no SLOs attached.
+    """
+    state = _fetch_slo(args.host, args.port)
+    if state is None:
+        _diag(f"cannot reach http://{args.host}:{args.port}/slo")
+        return 2
+    if args.json:
+        print(json.dumps(state, indent=2))
+        if not state.get("enabled"):
+            return 2
+        return 1 if state.get("burning") else 0
+    if not state.get("enabled"):
+        print("slo: server has no objectives attached (serve --slo-latency-ms)")
+        return 2
+    print(f"burning     : {'YES' if state.get('burning') else 'no'}")
+    for objective in state.get("objectives", []):
+        spec = objective.get("objective", {})
+        name = spec.get("name", "?")
+        print(
+            f"{name:<12}: budget_remaining={objective.get('budget_remaining', 1.0):.1%} "
+            f"{'BURNING' if objective.get('burning') else 'ok'}"
+        )
+        for window in objective.get("windows", []):
+            total = window.get("good", 0) + window.get("bad", 0)
+            print(
+                f"  {window.get('window_s', 0):>6.0f}s: "
+                f"burn={window.get('burn_rate', 0.0):.2f} "
+                f"error_rate={window.get('error_rate', 0.0):.4f} "
+                f"n={total}"
+            )
+    return 1 if state.get("burning") else 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Partition (or load) a network and serve lookups until SIGTERM.
 
@@ -807,7 +921,68 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         attach_repartitioner(store, repartitioner, points=points)
         repartitioner.bootstrap(densities)  # publishes epoch 1 via the hook
 
-    server = PartitionServer(store, host=args.host, port=args.port)
+    # --- live-telemetry plane (all opt-in; default serving is untraced) --
+    slo = None
+    if args.slo_latency_ms is not None:
+        from repro.obs.slo import SLOTracker, default_objectives
+
+        if args.slo_latency_ms <= 0:
+            _diag("--slo-latency-ms must be positive")
+            return 1
+        slo = SLOTracker(default_objectives(args.slo_latency_ms / 1000.0))
+
+    record_live = args.record_live or args.live_out is not None
+    live = None
+    genealogy = None
+    if record_live:
+        from repro.obs.live import EpochGenealogyRecorder, LiveRecorder
+
+        live = LiveRecorder(hz=args.live_hz)
+        if repartitioner is not None:
+            genealogy = EpochGenealogyRecorder(live)
+            genealogy.attach(repartitioner)
+
+    observability_on = (
+        slo is not None or record_live or args.access_log_sample > 0
+    )
+    tracer = None
+    if observability_on:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+
+    server = PartitionServer(
+        store,
+        host=args.host,
+        port=args.port,
+        slo=slo,
+        tracer=tracer,
+        access_log_sample=args.access_log_sample,
+        live=live,
+        genealogy=genealogy,
+        inject_slow_s=args.inject_slow_ms / 1000.0,
+    )
+    if live is not None:
+        # The serve gauges are refreshed lazily (on /metrics hits), so
+        # the first pull source primes them; the rest read the fresh
+        # values within the same tick (sources sample in insertion
+        # order).
+        def _primed_qps() -> float:
+            server._refresh_gauges(store.current())
+            return server.registry.gauge("serve.qps")
+
+        live.add_source("serve.qps", _primed_qps)
+        live.watch_registry(
+            server.registry,
+            (
+                "serve.latency_p50_s",
+                "serve.latency_p99_s",
+                "serve.epoch",
+                "serve.epoch_age_s",
+                "serve.connections",
+            ),
+        )
+
     updater = None
     stop_updates = None
     if args.updates > 0:
@@ -858,6 +1033,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         if updater is not None:
             updater.start()
+        if live is not None:
+            live.start()
         loop = __import__("asyncio").get_running_loop()
         for sig in (signal.SIGTERM, signal.SIGINT):
             try:
@@ -875,6 +1052,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if stop_updates is not None:
             stop_updates.set()
+        if live is not None:
+            live.stop()
+            if args.live_out:
+                live.write(args.live_out)
+                _diag(f"wrote live telemetry to {args.live_out}")
         store.close()
     _diag("server stopped")
     return 0
@@ -907,6 +1089,10 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     payload = report.to_dict()
+    # post-run error-budget state from the server, when it serves /slo
+    slo_state = _fetch_slo(args.host, args.port)
+    if slo_state is not None and slo_state.get("enabled"):
+        payload["slo"] = slo_state
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2)
@@ -922,6 +1108,16 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         print(f"p50 latency : {report.p50_s * 1e3:.3f} ms")
         print(f"p90 latency : {report.p90_s * 1e3:.3f} ms")
         print(f"p99 latency : {report.p99_s * 1e3:.3f} ms")
+        if "slo" in payload:
+            burning = payload["slo"].get("burning")
+            budgets = ", ".join(
+                f"{e['objective']['name']}={e['budget_remaining']:.1%}"
+                for e in payload["slo"].get("objectives", [])
+            )
+            print(
+                f"slo         : {'BURNING' if burning else 'within budget'}"
+                + (f" ({budgets})" if budgets else "")
+            )
     return 0 if report.n_errors == 0 else 1
 
 
@@ -930,6 +1126,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         "report": _cmd_obs_report,
         "profile": _cmd_obs_profile,
         "diff": _cmd_obs_diff,
+        "slo": _cmd_obs_slo,
     }
     return handlers[args.obs_command](args)
 

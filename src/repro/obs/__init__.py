@@ -49,7 +49,15 @@ On top of the per-run pillars sits the continuous-monitoring layer:
 * :mod:`repro.obs.report` — per-run flight-recorder HTML reports
   merging trace, metrics, manifest and (when profiled) an inline
   SVG flame graph (``repro-partition obs report``); the whole
-  profiling artifact set is one ``repro-partition obs profile`` away.
+  profiling artifact set is one ``repro-partition obs profile`` away;
+* :mod:`repro.obs.live` — bounded ring-buffer time series
+  (:class:`TimeSeries` / :class:`LiveRecorder`) sampling server gauges
+  at configurable Hz, plus the :class:`EpochGenealogyRecorder` that
+  turns every published repartitioning epoch into a churn/quality/
+  lineage history (the server's ``/dashboard``);
+* :mod:`repro.obs.slo` — declarative availability/latency objectives
+  with multi-window error-budget burn rates (``slo.*`` gauges, the
+  server's ``/slo`` endpoint, ``repro obs slo``).
 """
 
 from repro.obs.bench import (
@@ -62,10 +70,20 @@ from repro.obs.context import ObsContext, observe_run
 from repro.obs.export import (
     MetricsHTTPServer,
     MonitoringSession,
+    histogram_quantile,
     parse_prometheus,
+    quantile_from_latencies,
+    quantiles_from_latencies,
     render_prometheus,
 )
+from repro.obs.live import EpochGenealogyRecorder, LiveRecorder, TimeSeries
 from repro.obs.logs import configure_logging, get_logger, log_context
+from repro.obs.slo import (
+    SLOAccumulator,
+    SLObjective,
+    SLOTracker,
+    default_objectives,
+)
 from repro.obs.report import flight_recorder_html, write_report
 from repro.obs.manifest import MANIFEST_SCHEMA_VERSION, run_manifest
 from repro.obs.profile import (
@@ -91,6 +109,8 @@ from repro.obs.trace import (
     Tracer,
     activate_tracer,
     current_tracer,
+    make_traceparent,
+    parse_traceparent,
     traced,
     validate_chrome_trace,
 )
@@ -107,8 +127,19 @@ __all__ = [
     "parse_prometheus",
     "MetricsHTTPServer",
     "MonitoringSession",
+    "histogram_quantile",
+    "quantile_from_latencies",
+    "quantiles_from_latencies",
     "flight_recorder_html",
     "write_report",
+    # live telemetry & SLOs
+    "TimeSeries",
+    "LiveRecorder",
+    "EpochGenealogyRecorder",
+    "SLObjective",
+    "SLOTracker",
+    "SLOAccumulator",
+    "default_objectives",
     # deep profiling
     "ProfileConfig",
     "Profiler",
@@ -121,6 +152,8 @@ __all__ = [
     "Tracer",
     "activate_tracer",
     "current_tracer",
+    "make_traceparent",
+    "parse_traceparent",
     "traced",
     "validate_chrome_trace",
     "MetricsRegistry",

@@ -69,6 +69,11 @@ _TIME_SUFFIXES = ("_s", "seconds", "_ms")
 _MEMORY_MARKERS = ("rss", "alloc", "mem")
 # ... and higher-is-better ratios.
 _HIGHER_MARKERS = ("speedup",)
+# higher-is-better throughput rates; checked BEFORE the time suffixes
+# because "lookups_per_s" ends in "_s" and would otherwise gate as a
+# lower-is-better wall time — i.e. a throughput improvement would flag
+# as a regression.
+_RATE_MARKERS = ("_per_s", "qps")
 
 
 def machine_fingerprint(manifest: Optional[Dict[str, Any]]) -> str:
@@ -126,6 +131,8 @@ def value_direction(key: str) -> Optional[str]:
     if "reference" in leaf:
         return None
     if any(marker in leaf for marker in _HIGHER_MARKERS):
+        return "higher"
+    if leaf.endswith(_RATE_MARKERS):
         return "higher"
     if leaf.endswith(_TIME_SUFFIXES) or "time" in leaf or "duration" in leaf:
         return "lower"

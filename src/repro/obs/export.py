@@ -30,6 +30,7 @@ worst conductance), ready to scrape.
 
 from __future__ import annotations
 
+import json
 import math
 import re
 import threading
@@ -52,6 +53,7 @@ __all__ = [
     "MonitoringSession",
     "histogram_quantile",
     "quantile_from_latencies",
+    "quantiles_from_latencies",
 ]
 
 logger = get_logger("obs.export")
@@ -214,13 +216,29 @@ def quantile_from_latencies(values: Sequence[float], q: float) -> float:
     through this; it is the nearest-rank quantile, so a p99 over 100
     samples is the worst sample, not an interpolation below it.
     """
-    if not 0.0 <= q <= 1.0:
-        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    return quantiles_from_latencies(values, (q,))[0]
+
+
+def quantiles_from_latencies(
+    values: Sequence[float], qs: Sequence[float]
+) -> List[float]:
+    """Nearest-rank quantiles of one sample list, sorted exactly once.
+
+    The single source of truth for the nearest-rank semantics shared by
+    the server's gauge refresh and the load generator's report — both
+    need several quantiles of the same latency reservoir, and sorting
+    per quantile is wasted work on an 8k-sample deque.
+    """
+    for q in qs:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
     if not values:
-        return 0.0
+        return [0.0 for _ in qs]
     ordered = sorted(float(v) for v in values)
-    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
-    return ordered[rank]
+    n = len(ordered)
+    return [
+        ordered[min(n - 1, max(0, math.ceil(q * n) - 1))] for q in qs
+    ]
 
 
 def histogram_quantile(hist: Dict[str, Any], q: float) -> float:
@@ -502,7 +520,16 @@ class MetricsHTTPServer:
         class Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:  # noqa: N802 (stdlib API)
                 if self.path.split("?", 1)[0] != "/metrics":
-                    self.send_error(404, "only /metrics is served")
+                    # explicit JSON body: send_error()'s default page is
+                    # HTML and some minimal clients drop empty bodies
+                    body = json.dumps(
+                        {"error": "only /metrics is served", "status": 404}
+                    ).encode("utf-8")
+                    self.send_response(404)
+                    self.send_header("Content-Type", "application/json")
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
                     return
                 body = render().encode("utf-8")
                 self.send_response(200)

@@ -1,0 +1,406 @@
+"""Bounded ring-buffer time series for the live serving plane.
+
+``/metrics`` answers "what is the value *now*"; the flight-recorder
+report answers "what happened over the whole run". The gap is the live
+window in between — the last few minutes of a running
+:class:`~repro.serve.server.PartitionServer` and the
+:class:`~repro.pipeline.incremental.IncrementalRepartitioner` feeding
+it. This module fills it with three pieces:
+
+* :class:`TimeSeries` — a bounded ``(t, value)`` ring with windowed
+  aggregates: mean/min/max, counter rate, and p50/p99 computed by
+  bucketing the window into the registry's power-of-two histogram
+  shape and reusing :func:`repro.obs.export.histogram_quantile` — one
+  quantile implementation across the whole package;
+* :class:`LiveRecorder` — samples named sources (typically server
+  gauges) at a configurable Hz on a daemon thread, plus push-style
+  :meth:`record` for event-driven series;
+* :class:`EpochGenealogyRecorder` — subscribes to an incremental
+  repartitioner and captures, per published epoch: churn, update
+  latency, region count, partition quality (ANS/GDBI/conductance) and
+  the lineage of each transition (splits/merges/continuations, via
+  :func:`repro.analysis.genealogy.classify_transition`). This is the
+  Fig. 6-style stability record ROADMAP item 2 needs, kept live.
+
+Everything is stdlib + numpy; the recorder thread is optional (the
+server can also call :meth:`LiveRecorder.sample_once` from its own
+housekeeping path).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.obs.export import histogram_quantile
+from repro.obs.logs import get_logger
+
+__all__ = ["TimeSeries", "LiveRecorder", "EpochGenealogyRecorder"]
+
+logger = get_logger("obs.live")
+
+
+def _bucket_key(value: float) -> str:
+    """The registry histogram's power-of-two bucket key for ``value``."""
+    return "<=0" if value <= 0 else f"2^{math.ceil(math.log2(value))}"
+
+
+class TimeSeries:
+    """A bounded ring of ``(t, value)`` samples with windowed aggregates."""
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int = 2048,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 2:
+            raise DataError(f"TimeSeries capacity must be >= 2, got {capacity}")
+        self.name = str(name)
+        self.capacity = int(capacity)
+        self._clock = clock
+        self._samples: deque = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def add(self, value: float, t: Optional[float] = None) -> None:
+        """Append one sample (timestamped now unless ``t`` is given)."""
+        if t is None:
+            t = self._clock()
+        with self._lock:
+            self._samples.append((float(t), float(value)))
+
+    # ------------------------------------------------------------------
+    def window(self, window_s: Optional[float] = None) -> List[Tuple[float, float]]:
+        """Samples within the trailing ``window_s`` seconds (all if None)."""
+        with self._lock:
+            samples = list(self._samples)
+        if window_s is None or not samples:
+            return samples
+        cutoff = self._clock() - float(window_s)
+        return [s for s in samples if s[0] >= cutoff]
+
+    def values(self, window_s: Optional[float] = None) -> List[float]:
+        """Just the sample values of :meth:`window`."""
+        return [v for __, v in self.window(window_s)]
+
+    def rate(self, window_s: Optional[float] = None) -> float:
+        """Per-second delta across the window — for monotone counters.
+
+        ``(last - first) / (t_last - t_first)``; 0 with fewer than two
+        samples or no elapsed time. Negative deltas (a counter reset)
+        clamp to 0.
+        """
+        samples = self.window(window_s)
+        if len(samples) < 2:
+            return 0.0
+        (t0, v0), (t1, v1) = samples[0], samples[-1]
+        elapsed = t1 - t0
+        if elapsed <= 0:
+            return 0.0
+        return max(v1 - v0, 0.0) / elapsed
+
+    def histogram(self, window_s: Optional[float] = None) -> Dict[str, Any]:
+        """The window as a registry-shaped power-of-two histogram snapshot.
+
+        Compatible with :func:`repro.obs.export.histogram_quantile` —
+        the quantile path reuses the package's one implementation
+        instead of growing another.
+        """
+        values = self.values(window_s)
+        buckets: Dict[str, int] = {}
+        for value in values:
+            key = _bucket_key(value)
+            buckets[key] = buckets.get(key, 0) + 1
+        return {
+            "count": len(values),
+            "sum": float(sum(values)),
+            "min": min(values) if values else None,
+            "max": max(values) if values else None,
+            "buckets": buckets,
+        }
+
+    def quantile(self, q: float, window_s: Optional[float] = None) -> float:
+        """Windowed ``q``-quantile via :func:`histogram_quantile`."""
+        return histogram_quantile(self.histogram(window_s), q)
+
+    def aggregate(self, window_s: Optional[float] = None) -> Dict[str, Any]:
+        """Summary stats of the window: count/mean/min/max/last/p50/p99."""
+        values = self.values(window_s)
+        if not values:
+            return {"count": 0}
+        hist = self.histogram(window_s)
+        return {
+            "count": len(values),
+            "mean": float(sum(values) / len(values)),
+            "min": float(min(values)),
+            "max": float(max(values)),
+            "last": float(values[-1]),
+            "p50": histogram_quantile(hist, 0.5),
+            "p99": histogram_quantile(hist, 0.99),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        samples = self.window(None)
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "n_samples": len(samples),
+            "samples": [[round(t, 6), v] for t, v in samples],
+            "aggregate": self.aggregate(),
+        }
+
+
+class LiveRecorder:
+    """Samples named sources into bounded :class:`TimeSeries` at fixed Hz.
+
+    Two feeding styles compose:
+
+    * **pull** — :meth:`add_source` registers a zero-argument callable
+      (e.g. a registry gauge reader via :meth:`watch_registry`); the
+      sampler thread (:meth:`start`) or an explicit
+      :meth:`sample_once` reads every source and appends;
+    * **push** — :meth:`record` appends an event-driven value (epoch
+      churn, update latency) the moment it happens.
+
+    Source exceptions are logged and skipped — telemetry must never
+    take the serving loop down.
+    """
+
+    def __init__(
+        self,
+        hz: float = 1.0,
+        capacity: int = 2048,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if hz <= 0:
+            raise DataError(f"sampling hz must be positive, got {hz}")
+        self.hz = float(hz)
+        self.capacity = int(capacity)
+        self._clock = clock
+        self._sources: Dict[str, Callable[[], Optional[float]]] = {}
+        self._series: Dict[str, TimeSeries] = {}
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._started_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def series(self, name: str) -> TimeSeries:
+        """The named series, created on first use."""
+        with self._lock:
+            ts = self._series.get(name)
+            if ts is None:
+                ts = TimeSeries(name, capacity=self.capacity, clock=self._clock)
+                self._series[name] = ts
+            return ts
+
+    @property
+    def series_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._series)
+
+    def add_source(self, name: str, fn: Callable[[], Optional[float]]) -> None:
+        """Register a pull source; ``fn() -> value`` (None skips a tick)."""
+        with self._lock:
+            self._sources[name] = fn
+        self.series(name)  # materialise so dashboards list it immediately
+
+    def watch_registry(self, registry, names) -> None:
+        """Watch registry gauges by name (one pull source per gauge)."""
+
+        def reader(gauge_name: str) -> Callable[[], Optional[float]]:
+            return lambda: registry.gauge(gauge_name)
+
+        for name in names:
+            self.add_source(name, reader(name))
+
+    def record(self, name: str, value: float, t: Optional[float] = None) -> None:
+        """Push one event-driven sample into the named series."""
+        self.series(name).add(value, t=t)
+
+    # ------------------------------------------------------------------
+    def sample_once(self) -> None:
+        """Read every pull source once and append the values."""
+        with self._lock:
+            sources = list(self._sources.items())
+        now = self._clock()
+        for name, fn in sources:
+            try:
+                value = fn()
+            except Exception:
+                logger.exception("live source %s failed; skipping tick", name)
+                continue
+            if value is None:
+                continue
+            self.series(name).add(float(value), t=now)
+
+    def start(self) -> "LiveRecorder":
+        """Start the daemon sampler thread (idempotent)."""
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._started_at = self._clock()
+
+        def loop() -> None:
+            interval = 1.0 / self.hz
+            while not self._stop.wait(interval):
+                self.sample_once()
+
+        self._thread = threading.Thread(
+            target=loop, name="repro-live-recorder", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5)
+        self._thread = None
+
+    def __enter__(self) -> "LiveRecorder":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            series = dict(self._series)
+        return {
+            "hz": self.hz,
+            "capacity": self.capacity,
+            "series": {name: ts.to_dict() for name, ts in sorted(series.items())},
+        }
+
+    def write(self, path) -> Path:
+        """Dump the full recorder state as JSON (the ``--live-out`` file)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, default=float), encoding="utf-8"
+        )
+        return path
+
+
+class EpochGenealogyRecorder:
+    """Per-epoch churn/quality/lineage history of a repartitioning loop.
+
+    Subscribes to an
+    :class:`~repro.pipeline.incremental.IncrementalRepartitioner` (see
+    :meth:`attach`), and on every published epoch records into the
+    shared :class:`LiveRecorder`:
+
+    * ``epoch.churn`` — segments relabelled (0 at bootstrap);
+    * ``epoch.update_s`` — the update's wall-clock latency;
+    * ``epoch.n_regions`` — region count after the update;
+    * ``epoch.ans`` / ``epoch.gdbi`` / ``epoch.max_conductance`` —
+      partition quality (when ``quality=True`` and computable);
+    * ``epoch.splits`` / ``epoch.merges`` / ``epoch.continuations`` —
+      lineage of the transition from the previous epoch, classified by
+      :func:`repro.analysis.genealogy.classify_transition`.
+
+    A bounded per-epoch dict history rides along (:attr:`epochs`) for
+    the ``/dashboard`` genealogy table and the flight-recorder pane.
+    """
+
+    def __init__(
+        self,
+        recorder: LiveRecorder,
+        quality: bool = True,
+        history: int = 256,
+    ) -> None:
+        if history < 1:
+            raise DataError(f"history must be >= 1, got {history}")
+        self.recorder = recorder
+        self.quality = bool(quality)
+        self.history = int(history)
+        self.epochs: deque = deque(maxlen=self.history)
+        self.n_epochs = 0
+        self._graph = None
+        self._previous: Optional[np.ndarray] = None
+        self._lock = threading.Lock()
+
+    def attach(self, repartitioner) -> Callable[[], None]:
+        """Subscribe to ``repartitioner``; returns the unsubscriber."""
+        self._graph = repartitioner.graph
+        return repartitioner.subscribe(self.on_epoch)
+
+    # ------------------------------------------------------------------
+    def on_epoch(self, labels, densities, report) -> None:
+        """The ``subscribe()`` listener — also callable directly in tests."""
+        labels = np.asarray(labels)
+        with self._lock:
+            self.n_epochs += 1
+            epoch = self.n_epochs
+            churn = int(report.n_relabelled) if report is not None else 0
+            duration = float(report.duration_s) if report is not None else 0.0
+            n_regions = int(labels.max()) + 1 if labels.size else 0
+
+            entry: Dict[str, Any] = {
+                "epoch": epoch,
+                "churn": churn,
+                "update_s": duration,
+                "n_regions": n_regions,
+            }
+            self.recorder.record("epoch.churn", churn)
+            self.recorder.record("epoch.update_s", duration)
+            self.recorder.record("epoch.n_regions", n_regions)
+
+            if self.quality and self._graph is not None and n_regions >= 2:
+                try:
+                    from repro.metrics import ans, gdbi, max_conductance
+
+                    adjacency = self._graph.adjacency
+                    dens = np.asarray(densities, dtype=float)
+                    entry["ans"] = float(ans(dens, labels, adjacency))
+                    entry["gdbi"] = float(gdbi(dens, labels, adjacency))
+                    entry["max_conductance"] = float(
+                        max_conductance(adjacency, labels)
+                    )
+                    self.recorder.record("epoch.ans", entry["ans"])
+                    self.recorder.record("epoch.gdbi", entry["gdbi"])
+                    self.recorder.record(
+                        "epoch.max_conductance", entry["max_conductance"]
+                    )
+                except Exception as exc:  # quality must never break publishing
+                    logger.warning("epoch quality skipped: %s", exc)
+
+            if self._previous is not None:
+                try:
+                    from repro.analysis.genealogy import classify_transition
+
+                    transition = classify_transition(self._previous, labels)
+                    counts = transition.counts()
+                    entry["lineage"] = counts
+                    self.recorder.record("epoch.splits", counts["splits"])
+                    self.recorder.record("epoch.merges", counts["merges"])
+                    self.recorder.record(
+                        "epoch.continuations", counts["continuations"]
+                    )
+                except Exception as exc:
+                    logger.warning("epoch lineage skipped: %s", exc)
+            self._previous = labels.copy()
+            self.epochs.append(entry)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "n_epochs": self.n_epochs,
+                "history": self.history,
+                "epochs": [dict(e) for e in self.epochs],
+            }

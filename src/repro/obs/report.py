@@ -31,7 +31,13 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.obs.export import render_prometheus
 
-__all__ = ["flight_recorder_html", "write_report", "trace_bars", "profile_section"]
+__all__ = [
+    "flight_recorder_html",
+    "write_report",
+    "trace_bars",
+    "profile_section",
+    "live_section",
+]
 
 PathLike = Union[str, Path]
 
@@ -53,6 +59,8 @@ pre { background: #22242e; color: #d8dee9; padding: 1em; overflow-x: auto;
       border-radius: 4px; font-size: .8em; }
 .svgwrap { overflow-x: auto; background: #fff; border: 1px solid #d5d5e0;
            border-radius: 4px; padding: .4em; }
+.series { display: inline-block; margin: .4em 1.2em .4em 0; font-size: .85em;
+          vertical-align: top; }
 """
 
 
@@ -177,6 +185,57 @@ def profile_section(profile: Optional[Dict[str, Any]]) -> Tuple[str, int]:
 
 
 # ----------------------------------------------------------------------
+# live telemetry handling
+def live_section(live: Optional[Dict[str, Any]]) -> Tuple[str, int]:
+    """``(html, n_series)`` for the live-telemetry pane of the report.
+
+    ``live`` is a :meth:`repro.obs.live.LiveRecorder.to_dict` dump (the
+    server's ``--live-out`` file): one sparkline plus an aggregate row
+    per recorded series. Unreadable or empty dumps degrade to a
+    paragraph rather than taking the report down.
+    """
+    if not live or not isinstance(live, dict):
+        return "<p>(no live telemetry recorded)</p>", 0
+    series = live.get("series") or {}
+    drawn: List[str] = []
+    rows: List[str] = []
+    try:
+        from repro.viz.svg import render_sparkline
+
+        for name in sorted(series):
+            entry = series[name] or {}
+            values = [v for __, v in (entry.get("samples") or [])]
+            agg = entry.get("aggregate") or {}
+            if not values:
+                continue
+            spark = render_sparkline(values[-256:], title=name)
+            drawn.append(
+                f'<div class="series"><b>{_esc(name)}</b><br>{spark}</div>'
+            )
+            rows.append(
+                f"<tr><td>{_esc(name)}</td>"
+                f'<td class="num">{_fmt_num(agg.get("count"))}</td>'
+                f'<td class="num">{_fmt_num(agg.get("last"))}</td>'
+                f'<td class="num">{_fmt_num(agg.get("mean"))}</td>'
+                f'<td class="num">{_fmt_num(agg.get("p50"))}</td>'
+                f'<td class="num">{_fmt_num(agg.get("p99"))}</td>'
+                f'<td class="num">{_fmt_num(agg.get("max"))}</td></tr>'
+            )
+    except Exception as exc:  # degrade, never break the report
+        return f"<p>(live telemetry unreadable: {_esc(exc)})</p>", 0
+    if not drawn:
+        return "<p>(live telemetry recorded no samples)</p>", 0
+    header = (
+        "<tr><th>series</th><th>n</th><th>last</th><th>mean</th>"
+        "<th>p50</th><th>p99</th><th>max</th></tr>"
+    )
+    return (
+        "".join(drawn) + f"<table>{header}{''.join(rows)}</table>",
+        len(drawn),
+    )
+
+
+# ----------------------------------------------------------------------
 # HTML assembly
 def _esc(value: Any) -> str:
     return html.escape(str(value))
@@ -268,6 +327,7 @@ def flight_recorder_html(
     metrics: Optional[Dict[str, Any]] = None,
     title: Optional[str] = None,
     profile: Optional[Dict[str, Any]] = None,
+    live: Optional[Dict[str, Any]] = None,
 ) -> str:
     """Build the self-contained HTML flight-recorder document.
 
@@ -287,6 +347,10 @@ def flight_recorder_html(
         Optional speedscope-JSON document (``--profile-out`` /
         :meth:`repro.obs.ObsContext.write_profile`); adds a CPU
         flame-graph pane with a top-frames table.
+    live:
+        Optional :meth:`repro.obs.live.LiveRecorder.to_dict` dump (the
+        server's ``--live-out`` file); adds a live-telemetry pane with
+        one sparkline + aggregate row per time series.
     """
     metrics = metrics or {}
     if "metrics" in metrics:  # full dump with manifest
@@ -319,6 +383,7 @@ def flight_recorder_html(
         n_spans = 0
 
     profile_html, n_samples = profile_section(profile)
+    live_html, n_series = live_section(live)
     exposition = render_prometheus(snapshot)
     sections = [
         "<!DOCTYPE html>",
@@ -332,6 +397,8 @@ def flight_recorder_html(
         timeline,
         f"<h2>CPU profile ({n_samples} sampled stacks)</h2>",
         profile_html,
+        f"<h2>Live telemetry ({n_series} series)</h2>",
+        live_html,
         "<h2>Counters</h2>",
         _counters_table(snapshot.get("counters") or {}),
         "<h2>Gauges</h2>",
@@ -351,13 +418,15 @@ def write_report(
     out_path: PathLike,
     title: Optional[str] = None,
     profile_path: Optional[PathLike] = None,
+    live_path: Optional[PathLike] = None,
 ) -> Path:
-    """Read trace/metrics(/profile) JSON files and write the HTML report.
+    """Read trace/metrics(/profile/live) JSON files and write the report.
 
     Either of trace/metrics may be None (the corresponding section
     reports "none recorded"); passing both None is rejected — there
     would be nothing to record. ``profile_path`` optionally adds the
-    speedscope profile's flame-graph pane.
+    speedscope profile's flame-graph pane, ``live_path`` the live
+    telemetry pane (a ``LiveRecorder`` dump).
     """
     if trace_path is None and metrics_path is None:
         raise ValueError("need a trace and/or a metrics file to build a report")
@@ -373,8 +442,12 @@ def write_report(
     if profile_path is not None:
         with open(profile_path, "r", encoding="utf-8") as fh:
             profile = json.load(fh)
+    live = None
+    if live_path is not None:
+        with open(live_path, "r", encoding="utf-8") as fh:
+            live = json.load(fh)
     doc = flight_recorder_html(
-        trace=trace, metrics=metrics, title=title, profile=profile
+        trace=trace, metrics=metrics, title=title, profile=profile, live=live
     )
     out_path = Path(out_path)
     out_path.parent.mkdir(parents=True, exist_ok=True)

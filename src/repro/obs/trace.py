@@ -40,6 +40,8 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Any, Dict, Iterator, List, Optional
 
+from repro.exceptions import DataError
+
 __all__ = [
     "Span",
     "Tracer",
@@ -49,6 +51,8 @@ __all__ = [
     "activate_tracer",
     "traced",
     "validate_chrome_trace",
+    "make_traceparent",
+    "parse_traceparent",
 ]
 
 #: Bump when the cross-process span wire format changes incompatibly.
@@ -204,6 +208,14 @@ class Tracer:
         span.duration = float(seconds)
         self._attach(span)
         return span
+
+    @property
+    def epoch_perf(self) -> float:
+        """:func:`time.perf_counter` at construction; span starts are
+        relative to it. Lets collaborators that buffer completed work
+        (e.g. the serving layer's span ring) realign their own
+        perf-counter stamps onto this tracer's timeline."""
+        return self._epoch_perf
 
     @property
     def current(self) -> Optional[Span]:
@@ -398,6 +410,73 @@ def _jsonable(value: Any) -> Any:
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     return str(value)
+
+
+# ----------------------------------------------------------------------
+# W3C Trace Context (traceparent) — the wire format the serving layer
+# uses to correlate a load generator's requests with server-side spans.
+_HEX = set("0123456789abcdef")
+
+
+def _is_hex(value: str, length: int) -> bool:
+    return len(value) == length and all(c in _HEX for c in value)
+
+
+def make_traceparent(
+    trace_id: Optional[str] = None,
+    parent_id: Optional[str] = None,
+    sampled: bool = True,
+) -> str:
+    """Build a W3C ``traceparent`` header value (version 00).
+
+    ``00-<32 hex trace id>-<16 hex parent id>-<2 hex flags>``. Missing
+    ids are generated from :func:`os.urandom`; supplied ids must be
+    lowercase hex of the right length and non-zero.
+    """
+    if trace_id is None:
+        trace_id = os.urandom(16).hex()
+    if parent_id is None:
+        parent_id = os.urandom(8).hex()
+    if not _is_hex(trace_id, 32) or set(trace_id) == {"0"}:
+        raise DataError(
+            f"trace_id must be 32 non-zero lowercase hex chars, got {trace_id!r}"
+        )
+    if not _is_hex(parent_id, 16) or set(parent_id) == {"0"}:
+        raise DataError(
+            f"parent_id must be 16 non-zero lowercase hex chars, got {parent_id!r}"
+        )
+    return f"00-{trace_id}-{parent_id}-{'01' if sampled else '00'}"
+
+
+def parse_traceparent(header: Any):
+    """Parse a ``traceparent`` header into ``(trace_id, parent_id, sampled)``.
+
+    Accepts ``str`` or ``bytes``. Returns ``None`` for anything
+    malformed — the caller falls back to a fresh trace id, per the W3C
+    spec's "restart the trace" guidance.
+    """
+    if isinstance(header, (bytes, bytearray)):
+        try:
+            header = header.decode("ascii")
+        except UnicodeDecodeError:
+            return None
+    if not isinstance(header, str):
+        return None
+    parts = header.strip().split("-")
+    if len(parts) < 4:
+        return None
+    version, trace_id, parent_id, flags = parts[0], parts[1], parts[2], parts[3]
+    if not _is_hex(version, 2) or version == "ff":
+        return None
+    if version == "00" and len(parts) != 4:
+        return None
+    if not _is_hex(trace_id, 32) or set(trace_id) == {"0"}:
+        return None
+    if not _is_hex(parent_id, 16) or set(parent_id) == {"0"}:
+        return None
+    if not _is_hex(flags, 2):
+        return None
+    return trace_id, parent_id, bool(int(flags, 16) & 0x01)
 
 
 # ----------------------------------------------------------------------

@@ -70,6 +70,16 @@ class UpdateReport:
         """Number of regions after the update."""
         return int(self.labels.max()) + 1 if self.labels.size else 0
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able summary (labels elided — they can be megabytes)."""
+        return {
+            "refreshed": [int(r) for r in self.refreshed],
+            "kept": [int(r) for r in self.kept],
+            "n_regions": self.n_regions,
+            "duration_s": float(self.duration_s),
+            "n_relabelled": int(self.n_relabelled),
+        }
+
 
 class IncrementalRepartitioner:
     """Repartition an evolving network region by region.

@@ -25,13 +25,14 @@ from __future__ import annotations
 import asyncio
 import json
 import time
-from typing import Any, Deque, Dict, List, Optional, Sequence
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from collections import deque
 
 from repro.exceptions import ServeError
-from repro.obs.export import quantile_from_latencies
+from repro.obs.export import quantiles_from_latencies
 from repro.obs.logs import get_logger
+from repro.obs.trace import make_traceparent
 
 __all__ = ["LoadReport", "run_loadgen"]
 
@@ -54,6 +55,7 @@ class LoadReport:
         connections: int,
         depth: int,
         batch_size: int = 1,
+        trace_ids: Optional[Sequence[str]] = None,
     ) -> None:
         self.mode = mode
         self.duration_s = float(duration_s)
@@ -63,11 +65,13 @@ class LoadReport:
         self.connections = int(connections)
         self.depth = int(depth)
         self.batch_size = int(batch_size)
+        self.trace_ids = list(trace_ids or [])
         lat = sorted(float(v) for v in latencies_s)
         self._latencies = lat
-        self.p50_s = quantile_from_latencies(lat, 0.50)
-        self.p90_s = quantile_from_latencies(lat, 0.90)
-        self.p99_s = quantile_from_latencies(lat, 0.99)
+        # one sort, one pass: obs.export owns the nearest-rank semantics
+        self.p50_s, self.p90_s, self.p99_s = quantiles_from_latencies(
+            lat, (0.50, 0.90, 0.99)
+        )
         self.max_s = lat[-1] if lat else 0.0
         self.mean_s = sum(lat) / len(lat) if lat else 0.0
 
@@ -98,6 +102,7 @@ class LoadReport:
             "latency_p99_s": self.p99_s,
             "latency_mean_s": self.mean_s,
             "latency_max_s": self.max_s,
+            "trace_ids": self.trace_ids,
         }
 
     def __repr__(self) -> str:
@@ -231,7 +236,7 @@ def _build_request(
     n_segments: int,
     batch_size: int,
     seed: int,
-) -> bytes:
+) -> "Tuple[bytes, str]":
     """One keep-alive request template for the chosen mode.
 
     Every connection replays the same request; the segment ids are
@@ -239,34 +244,45 @@ def _build_request(
     segment 0, but a fixed template keeps the client's per-request
     work to a ``bytes`` write — the generator must be cheaper than
     the server it is measuring.
+
+    Each template carries a W3C ``traceparent`` header with a
+    deterministic (seed-derived) trace id, so a server running with
+    request tracing attributes its spans to this connection. Returns
+    ``(request_bytes, trace_id)``.
     """
     import random
 
     rng = random.Random(seed)
-    host_header = f"Host: {host}:{port}\r\n".encode()
+    trace_id = "%032x" % (rng.getrandbits(128) or 1)
+    parent_id = "%016x" % (rng.getrandbits(64) or 1)
+    traceparent = make_traceparent(trace_id=trace_id, parent_id=parent_id)
+    headers = (
+        f"Host: {host}:{port}\r\ntraceparent: {traceparent}\r\n".encode()
+    )
     if mode == "single":
         sid = rng.randrange(n_segments)
         return (
-            b"GET /lookup?segment=%d HTTP/1.1\r\n" % sid
-            + host_header
-            + b"\r\n"
+            b"GET /lookup?segment=%d HTTP/1.1\r\n" % sid + headers + b"\r\n",
+            trace_id,
         )
     if mode == "batch":
         ids = [rng.randrange(n_segments) for _ in range(batch_size)]
         body = json.dumps({"segments": ids}).encode()
         return (
             b"POST /lookup/batch HTTP/1.1\r\n"
-            + host_header
+            + headers
             + b"Content-Type: application/json\r\n"
             + b"Content-Length: %d\r\n\r\n" % len(body)
-            + body
+            + body,
+            trace_id,
         )
     if mode == "point":
         x, y = rng.random(), rng.random()
         return (
             f"GET /lookup?x={x:.6f}&y={y:.6f} HTTP/1.1\r\n".encode()
-            + host_header
-            + b"\r\n"
+            + headers
+            + b"\r\n",
+            trace_id,
         )
     raise ServeError(f"unknown loadgen mode {mode!r}; expected one of {_MODES}")
 
@@ -288,8 +304,12 @@ async def _run_async(
     deadline = time.perf_counter() + duration_s
     t0 = time.perf_counter()
     futures = []
+    trace_ids: List[str] = []
     for conn in range(connections):
-        request = _build_request(host, port, mode, n_segments, batch_size, seed + conn)
+        request, trace_id = _build_request(
+            host, port, mode, n_segments, batch_size, seed + conn
+        )
+        trace_ids.append(trace_id)
         done: "asyncio.Future[None]" = loop.create_future()
         proto = _ClientProtocol(request, depth, deadline, latencies, done)
         await loop.create_connection(lambda p=proto: p, host, port)
@@ -314,6 +334,7 @@ async def _run_async(
         connections=connections,
         depth=depth,
         batch_size=per_request,
+        trace_ids=trace_ids,
     )
 
 

@@ -23,6 +23,14 @@ Endpoints (all JSON unless noted):
 ``GET /healthz``                               liveness probe
 ``GET /metrics``                               Prometheus exposition
                                                (text, version 0.0.4)
+``GET /slo``                                   SLO burn state (JSON;
+                                               ``{"enabled": false}``
+                                               without a tracker)
+``GET /dashboard``                             live telemetry HTML
+                                               (sparklines, SLOs,
+                                               epoch genealogy)
+``GET /trace``                                 recent request-group
+                                               spans (JSON, debug)
 =============================================  ==========================
 
 Consistency: every request resolves the epoch exactly once. Batches —
@@ -45,13 +53,31 @@ quantile gauges via :func:`repro.obs.export.quantile_from_latencies`):
 ``serve.latency_p99_s`` gauges, ``serve.qps`` gauge over a sliding
 window, ``serve.batch_size`` histogram, ``serve.epoch`` /
 ``serve.epoch_age_s`` / ``serve.epoch_pins`` gauges, and the process
-gauges every scrape refreshes.
+gauges every scrape refreshes. A per-status ``serve.responses
+[status=..]`` counter family tracks the response mix, and an attached
+:class:`~repro.obs.slo.SLOTracker` adds ``slo.*`` burn-rate gauges.
+
+Request telemetry is strictly opt-in and batched into per-connection
+*merge windows*: consecutive all-200 fast-path groups on a connection
+are folded together with a couple of integer adds, and the real work —
+SLO classification, one span (endpoint/status/epoch/trace-id
+attributes, the trace id taken from the window's W3C ``traceparent``
+header or freshly assigned), one sampled access line through
+``obs.logs`` (stderr — stdout stays reserved for the CLI's JSON) —
+runs once per window: every ``_TEL_MERGE_REQUESTS`` requests, at any
+status change, when the connection closes, and before every reader
+endpoint. That amortisation is what keeps the traced ``/lookup`` path
+within 5% of untraced throughput (asserted by
+``benchmarks/test_bench_serving.py``). With nothing attached, the
+fast path is byte-for-byte the PR 8 hot loop.
 """
 
 from __future__ import annotations
 
 import asyncio
+import html as _html
 import json
+import random
 import socket
 import threading
 import time
@@ -60,9 +86,10 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.exceptions import ServeError
-from repro.obs.export import quantile_from_latencies, render_prometheus
+from repro.obs.export import quantiles_from_latencies, render_prometheus
 from repro.obs.logs import get_logger
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer, make_traceparent, parse_traceparent
 from repro.serve.snapshot import SnapshotStore
 
 __all__ = ["PartitionServer", "ServerHandle"]
@@ -78,12 +105,23 @@ _ERROR_HEAD = (
     b"HTTP/1.1 %d %s\r\nContent-Type: application/json\r\n"
     b"Content-Length: %d\r\n\r\n"
 )
-_STATUS_TEXT = {400: b"Bad Request", 404: b"Not Found", 405: b"Method Not Allowed"}
+_STATUS_TEXT = {
+    400: b"Bad Request",
+    404: b"Not Found",
+    405: b"Method Not Allowed",
+    503: b"Service Unavailable",
+}
 
 #: sliding-window length for the QPS gauge, seconds
 _QPS_WINDOW_S = 10.0
 #: per-request latency reservoir for the p50/p99 gauges
 _LATENCY_RESERVOIR = 8192
+#: bounded root-span history when request tracing is attached
+_TRACE_ROOTS_CAP = 4096
+#: flush the SLO accumulator to the tracker rings every N requests
+_SLO_FLUSH_EVERY = 256
+#: emit a connection's merged telemetry window every N requests
+_TEL_MERGE_REQUESTS = 512
 
 
 def _json_response(payload: Any) -> bytes:
@@ -91,20 +129,34 @@ def _json_response(payload: Any) -> bytes:
     return _JSON_HEAD % len(body) + body
 
 
-def _error_response(status: int, message: str) -> bytes:
+def _error_response(
+    status: int, message: str, retry_after: Optional[int] = None
+) -> bytes:
     body = json.dumps({"error": message, "status": status}).encode("utf-8")
-    return _ERROR_HEAD % (status, _STATUS_TEXT.get(status, b"Error"), len(body)) + body
+    head = _ERROR_HEAD % (status, _STATUS_TEXT.get(status, b"Error"), len(body))
+    if retry_after is not None:
+        head = head[:-2] + (b"Retry-After: %d\r\n\r\n" % retry_after)
+    return head + body
 
 
 class _HttpProtocol(asyncio.Protocol):
     """Minimal pipelining HTTP/1.1 protocol for one client connection."""
 
-    __slots__ = ("server", "transport", "buf")
+    __slots__ = ("server", "transport", "buf", "tp_cache", "tel")
 
     def __init__(self, server: "PartitionServer") -> None:
         self.server = server
         self.transport: Optional[asyncio.Transport] = None
         self.buf = b""
+        # (head, (trace_id, parent_id)) of the last traceparent lookup;
+        # pipelined clients replay one request template per connection,
+        # so this one-entry cache turns per-group header parsing into a
+        # single memcmp on the hot path
+        self.tp_cache: Optional[Tuple[bytes, Tuple[str, str]]] = None
+        # pending merged telemetry window for this connection:
+        # [epoch, n_requests, seconds, head, target] or None (see
+        # PartitionServer._tel_boundary)
+        self.tel: Optional[list] = None
 
     def connection_made(self, transport: asyncio.BaseTransport) -> None:
         self.transport = transport  # type: ignore[assignment]
@@ -115,13 +167,20 @@ class _HttpProtocol(asyncio.Protocol):
             except OSError:  # pragma: no cover - platform-dependent
                 pass
         self.server._connections += 1
+        if self.server._tel_on:
+            self.server._protos.add(self)
 
     def connection_lost(self, exc: Optional[Exception]) -> None:
         self.server._connections -= 1
+        if self.tel is not None:
+            self.server._emit_tel(self)
+        self.server._protos.discard(self)
 
     def data_received(self, data: bytes) -> None:
         buf = self.buf + data if self.buf else data
-        requests: List[Tuple[bytes, bytes, bytes]] = []  # (method, target, body)
+        # (method, target, body, head) — head kept for traceparent
+        # extraction, which only ever reads it when a tracer is attached
+        requests: List[Tuple[bytes, bytes, bytes, bytes]] = []
         while True:
             head_end = buf.find(b"\r\n\r\n")
             if head_end < 0:
@@ -151,7 +210,7 @@ class _HttpProtocol(asyncio.Protocol):
                     break  # body not fully buffered yet
                 body = buf[consumed : consumed + length]
                 consumed += length
-            requests.append((method, target, body))
+            requests.append((method, target, body, head))
             buf = buf[consumed:]
         self.buf = buf
         if requests:
@@ -216,6 +275,30 @@ class PartitionServer:
         Metrics registry backing ``/metrics`` (fresh one by default).
     run_id:
         Optional ``run_id`` label stamped on every exported sample.
+    slo:
+        Optional :class:`~repro.obs.slo.SLOTracker`; every request
+        group feeds it and ``/slo`` + ``slo.*`` gauges light up.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; every request group
+        records one span with endpoint/status/epoch/trace-id
+        attributes (root history bounded at ``_TRACE_ROOTS_CAP``).
+    access_log_sample:
+        Fraction of request groups logged (INFO, stderr via
+        ``obs.logs``) as structured access lines. 0.0 (default) logs
+        nothing.
+    live:
+        Optional :class:`~repro.obs.live.LiveRecorder` rendered by
+        ``/dashboard`` (the CLI wires its sources to the registry).
+    genealogy:
+        Optional :class:`~repro.obs.live.EpochGenealogyRecorder` whose
+        epoch history feeds the ``/dashboard`` genealogy table.
+    require_epoch:
+        Fail fast in :meth:`start` when the store has no epoch yet
+        (default). ``False`` lets the server come up first and answer
+        503 + ``Retry-After`` until the first publish lands.
+    inject_slow_s:
+        Artificial per-group delay in seconds — the SLO demo's way of
+        flipping ``/slo`` to burning. 0.0 (default) for production.
     """
 
     def __init__(
@@ -225,12 +308,27 @@ class PartitionServer:
         port: int = 0,
         registry: Optional[MetricsRegistry] = None,
         run_id: Optional[str] = None,
+        slo=None,
+        tracer: Optional[Tracer] = None,
+        access_log_sample: float = 0.0,
+        live=None,
+        genealogy=None,
+        require_epoch: bool = True,
+        inject_slow_s: float = 0.0,
     ) -> None:
         self.store = store
         self.host = host
         self.requested_port = int(port)
         self.registry = registry if registry is not None else MetricsRegistry()
         self.run_id = run_id
+        self.slo = slo
+        self.tracer = tracer
+        self.access_log_sample = float(access_log_sample)
+        self.live = live
+        self.genealogy = genealogy
+        self.require_epoch = bool(require_epoch)
+        self.inject_slow_s = float(inject_slow_s)
+        self._access_logger = get_logger("serve.access")
         self._started_monotonic = time.monotonic()
         self._asyncio_server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -240,6 +338,19 @@ class PartitionServer:
         # QPS window: (monotonic_time, n_lookups) per handled group
         self._qps_window: Deque[Tuple[float, int]] = deque()
         self._latencies: Deque[float] = deque(maxlen=_LATENCY_RESERVOIR)
+        # hot-path telemetry buffers: per-group outcomes are merged
+        # here (integer adds / one tuple append) and materialised into
+        # the tracker rings / Span objects only when a reader asks —
+        # that is how the traced fast path stays within the 5% budget
+        self._slo_acc = None if slo is None else slo.accumulator()
+        self._span_ring: Deque[tuple] = deque(maxlen=_TRACE_ROOTS_CAP)
+        # telemetry plane attached? (fixed at construction; one bool
+        # load per group instead of three attribute checks)
+        self._tel_on = (
+            slo is not None or tracer is not None or self.access_log_sample > 0.0
+        )
+        # live connections that may hold a pending telemetry window
+        self._protos: set = set()
         self._endpoint_counts: Dict[str, int] = {}
         self._n_lookups = 0
         self._n_requests = 0
@@ -260,7 +371,8 @@ class PartitionServer:
         """Bind and start accepting connections (coroutine)."""
         if self._asyncio_server is not None:
             return self
-        self.store.current()  # fail fast when no epoch exists yet
+        if self.require_epoch:
+            self.store.current()  # fail fast when no epoch exists yet
         self._loop = asyncio.get_running_loop()
         self._shutdown = asyncio.Event()
         self._asyncio_server = await self._loop.create_server(
@@ -343,24 +455,47 @@ class PartitionServer:
     # ------------------------------------------------------------------
     # request handling (hot path)
     def _handle_group(
-        self, proto: _HttpProtocol, requests: List[Tuple[bytes, bytes, bytes]]
+        self, proto: _HttpProtocol, requests: List[Tuple[bytes, bytes, bytes, bytes]]
     ) -> None:
         """Answer every pipelined request of one socket read.
 
         The whole group is served under one pinned epoch — this is
         both the consistency guarantee (no mixed epochs inside any
         request, batch or not) and the coalescing that amortises the
-        snapshot resolution over the group.
+        snapshot resolution over the group. Request telemetry (SLO,
+        span, access log) is merged into per-connection windows and
+        emitted once per window (see :meth:`_tel_boundary`).
         """
         t0 = time.perf_counter()
+        if self.inject_slow_s > 0.0:
+            time.sleep(self.inject_slow_s)  # --inject-slow-ms: SLO burn demo
         out: List[bytes] = []
         n_lookups = 0
-        with self.store.pinned() as snap:
+        statuses: Dict[int, int] = {}
+        try:
+            snap = self.store.pin()
+        except ServeError:
+            # no epoch published yet: every request in the group gets a
+            # 503 with Retry-After so clients know to back off briefly
+            response = _error_response(
+                503, "no epoch published yet", retry_after=1
+            )
+            proto.transport.write(response * len(requests))
+            statuses[503] = len(requests)
+            seconds = time.perf_counter() - t0
+            self._account(len(requests), 0, seconds, statuses)
+            if self._tel_on:
+                self._tel_boundary(proto, requests, statuses, seconds, 0)
+            return
+        n_ok = 0
+        n_bad_request = 0
+        try:
             labels = snap.index.labels
             n_segments = snap.index.n_segments
             epoch = snap.epoch
-            for method, target, body in requests:
-                # fast path: single-segment lookup
+            for method, target, body, __ in requests:
+                # fast path: single-segment lookup (statuses counted in
+                # local ints; one dict update per group, not per request)
                 if method == b"GET" and target.startswith(b"/lookup?segment="):
                     raw = target[16:]
                     amp = raw.find(b"&")
@@ -370,50 +505,206 @@ class PartitionServer:
                         sid = int(raw)
                     except ValueError:
                         out.append(_error_response(400, "segment must be an integer"))
+                        n_bad_request += 1
                         continue
                     if 0 <= sid < n_segments:
                         body_bytes = _LOOKUP_BODY % (sid, labels[sid], epoch)
                         out.append(_JSON_HEAD % len(body_bytes) + body_bytes)
                         n_lookups += 1
+                        n_ok += 1
                     else:
                         out.append(
                             _error_response(
                                 400, f"segment {sid} out of range [0, {n_segments})"
                             )
                         )
+                        n_bad_request += 1
                     continue
-                response, served = self._handle_slow(method, target, body, snap)
+                response, served, status = self._handle_slow(
+                    method, target, body, snap
+                )
                 out.append(response)
                 n_lookups += served
+                statuses[status] = statuses.get(status, 0) + 1
+        finally:
+            self.store.unpin(snap)
+        if n_ok:
+            statuses[200] = statuses.get(200, 0) + n_ok
+        if n_bad_request:
+            statuses[400] = statuses.get(400, 0) + n_bad_request
         proto.transport.write(b"".join(out))
-        self._account(len(requests), n_lookups, time.perf_counter() - t0)
+        seconds = time.perf_counter() - t0
+        n_requests = len(requests)
+        self._account(n_requests, n_lookups, seconds, statuses)
+        if self._tel_on:
+            # merge consecutive all-200 fast-path groups into one
+            # per-connection telemetry window: a couple of list adds
+            # per group, with the real work (SLO classification, span,
+            # access log) amortised over _TEL_MERGE_REQUESTS requests.
+            # Pipelined reads often carry only 1-2 requests, so even a
+            # ~1 us per-group cost would blow the 5% overhead budget.
+            tel = proto.tel
+            if tel is not None and n_ok == n_requests:
+                tel[1] += n_ok
+                tel[2] += seconds
+                if tel[1] >= _TEL_MERGE_REQUESTS:
+                    self._emit_tel(proto)
+            else:
+                self._tel_boundary(proto, requests, statuses, seconds, epoch)
+
+    def _tel_boundary(
+        self,
+        proto: _HttpProtocol,
+        requests: List[Tuple[bytes, bytes, bytes, bytes]],
+        statuses: Dict[int, int],
+        seconds: float,
+        epoch: int,
+    ) -> None:
+        """Telemetry-window boundary: first group on a connection, a
+        status mix, or a full window. Flushes the pending window, then
+        either starts a fresh one (all-200 group) or emits this group
+        unmerged with its own status mix (rare: errors, 503s)."""
+        self._emit_tel(proto)
+        n_requests = len(requests)
+        __, target, __b, head = requests[0]
+        if statuses.get(200, 0) == n_requests:
+            # [epoch, n_requests, seconds, head, target]
+            proto.tel = [epoch, n_requests, seconds, head, target]
+            return
+        n_bad = 0
+        for status, n in statuses.items():
+            if status >= 500:
+                n_bad += n
+        worst = max(statuses) if statuses else 200
+        self._emit(
+            proto, head, target, n_requests, seconds, worst, epoch, n_bad,
+            method=requests[0][0],
+        )
+
+    def _emit_tel(self, proto: _HttpProtocol) -> None:
+        """Emit a connection's pending merged telemetry window."""
+        tel = proto.tel
+        if tel is None:
+            return
+        proto.tel = None
+        epoch, n_requests, seconds, head, target = tel
+        self._emit(proto, head, target, n_requests, seconds, 200, epoch, 0)
+
+    def _emit(
+        self,
+        proto: _HttpProtocol,
+        head: bytes,
+        target: bytes,
+        n_requests: int,
+        seconds: float,
+        worst: int,
+        epoch: int,
+        n_bad: int,
+        method: bytes = b"GET",
+    ) -> None:
+        """Feed one (possibly merged) request window into SLO/trace/log.
+
+        ``seconds`` is the summed serving time of the window's groups
+        (busy time, not wall span); ``target`` is the window's first
+        request target — representative, since windows only merge
+        uniform fast-path traffic.
+        """
+        per_request = seconds / n_requests if n_requests else 0.0
+        acc = self._slo_acc
+        if acc is not None:
+            acc.add(per_request, n_requests - n_bad, n_bad)
+            if acc.pending >= _SLO_FLUSH_EVERY:
+                acc.flush()
+
+        if self.tracer is None and not self.access_log_sample:
+            return
+        path = target.partition(b"?")[0].decode("latin-1")
+        cached = proto.tp_cache
+        if cached is not None and cached[0] == head:
+            trace_id, parent_id = cached[1]
+        else:
+            parsed = None
+            # canonical lowercase first; the .lower() copy only on miss
+            idx = head.find(b"traceparent:")
+            if idx < 0:
+                idx = head.lower().find(b"traceparent:")
+            if idx >= 0:
+                end = head.find(b"\r\n", idx)
+                raw = head[idx + 12 : end if end >= 0 else len(head)]
+                parsed = parse_traceparent(raw)
+            if parsed is not None:
+                trace_id, parent_id, __sampled = parsed
+            else:
+                # absent or malformed header: assign a fresh trace
+                header = make_traceparent()
+                trace_id, parent_id = header.split("-")[1], header.split("-")[2]
+            proto.tp_cache = (head, (trace_id, parent_id))
+
+        if self.tracer is not None:
+            # one tuple append; Span objects are built lazily by
+            # _flush_spans when /trace (or a shutdown export) reads them
+            self._span_ring.append(
+                (
+                    time.perf_counter(),
+                    seconds,
+                    path,
+                    worst,
+                    epoch,
+                    n_requests,
+                    trace_id,
+                    parent_id,
+                )
+            )
+
+        if self.access_log_sample and random.random() < self.access_log_sample:
+            self._access_logger.info(
+                "%s %s status=%d n=%d lookups_ms=%.3f epoch=%d trace_id=%s",
+                method.decode("latin-1"),
+                path,
+                worst,
+                n_requests,
+                seconds * 1e3,
+                epoch,
+                trace_id,
+            )
 
     def _handle_slow(self, method: bytes, target: bytes, body: bytes, snap):
         """Everything that is not a single-segment GET; returns
-        ``(response_bytes, n_lookups_served)``."""
+        ``(response_bytes, n_lookups_served, status)``."""
         try:
             path, __, query = target.partition(b"?")
             if method == b"GET":
                 if path == b"/lookup":
-                    return self._lookup_point(query, snap), 1
+                    return self._lookup_point(query, snap), 1, 200
                 if path == b"/batch":
                     params = parse_qs(query.decode("utf-8", "replace"))
                     raw = params.get("segments", [""])[0]
                     ids = [int(s) for s in raw.split(",") if s != ""]
-                    return self._batch(ids, snap)
+                    response, served = self._batch(ids, snap)
+                    return response, served, 200
                 if path == b"/epoch":
-                    return _json_response(self._epoch_info(snap)), 0
+                    return _json_response(self._epoch_info(snap)), 0, 200
                 if path == b"/quality":
                     payload = dict(snap.index.quality())
                     payload["epoch"] = snap.epoch
-                    return _json_response(payload), 0
+                    return _json_response(payload), 0, 200
                 if path.startswith(b"/region/"):
-                    return self._region(path, snap), 0
+                    return self._region(path, snap), 0, 200
                 if path == b"/healthz":
-                    return _json_response({"ok": True, "epoch": snap.epoch}), 0
+                    return _json_response({"ok": True, "epoch": snap.epoch}), 0, 200
                 if path == b"/metrics":
-                    return self._metrics_response(snap), 0
-                return _error_response(404, f"no route {path.decode('latin-1')}"), 0
+                    return self._metrics_response(snap), 0, 200
+                if path == b"/slo":
+                    return self._slo_response(), 0, 200
+                if path == b"/trace":
+                    return self._trace_response(), 0, 200
+                if path == b"/dashboard":
+                    return self._dashboard_response(snap), 0, 200
+                return (
+                    _error_response(404, f"no route {path.decode('latin-1')}"),
+                    0,
+                    404,
+                )
             if method == b"POST":
                 if path == b"/lookup/batch":
                     payload = json.loads(body or b"null")
@@ -423,13 +714,18 @@ class PartitionServer:
                         raise ServeError(
                             'batch body must be {"segments": [...]} or an id list'
                         )
-                    return self._batch(payload, snap)
-                return _error_response(404, f"no route {path.decode('latin-1')}"), 0
-            return _error_response(405, "only GET and POST are served"), 0
+                    response, served = self._batch(payload, snap)
+                    return response, served, 200
+                return (
+                    _error_response(404, f"no route {path.decode('latin-1')}"),
+                    0,
+                    404,
+                )
+            return _error_response(405, "only GET and POST are served"), 0, 405
         except ServeError as exc:
-            return _error_response(400, str(exc)), 0
+            return _error_response(400, str(exc)), 0, 400
         except (ValueError, json.JSONDecodeError) as exc:
-            return _error_response(400, f"bad request: {exc}"), 0
+            return _error_response(400, f"bad request: {exc}"), 0, 400
 
     def _lookup_point(self, query: bytes, snap) -> bytes:
         params = parse_qs(query.decode("utf-8", "replace"))
@@ -470,7 +766,13 @@ class PartitionServer:
 
     # ------------------------------------------------------------------
     # metrics
-    def _account(self, n_requests: int, n_lookups: int, seconds: float) -> None:
+    def _account(
+        self,
+        n_requests: int,
+        n_lookups: int,
+        seconds: float,
+        statuses: Optional[Dict[int, int]] = None,
+    ) -> None:
         now = time.monotonic()
         self._n_requests += n_requests
         self._n_lookups += n_lookups
@@ -488,6 +790,76 @@ class PartitionServer:
         self.registry.inc("serve.requests", n_requests)
         if n_lookups:
             self.registry.inc("serve.lookups", n_lookups)
+        if statuses:
+            for status, count in statuses.items():
+                self.registry.inc(f"serve.responses[status={status}]", count)
+
+    def flush_telemetry(self) -> None:
+        """Drain the hot-path telemetry buffers into their stores.
+
+        The request path batches SLO outcomes (integer accumulator)
+        and spans (tuple ring); every reader — ``/slo``, ``/metrics``,
+        ``/trace``, ``/dashboard``, and the CLI's shutdown export —
+        flushes first, so observers always see a consistent view.
+        Safe to call from any thread (the per-connection merge windows
+        are only drained when called on the serving loop's thread; off
+        the loop they stay pending, bounding staleness at
+        ``_TEL_MERGE_REQUESTS`` requests per connection).
+        """
+        loop = self._loop
+        if loop is not None:
+            try:
+                on_loop = asyncio.get_running_loop() is loop
+            except RuntimeError:
+                on_loop = False
+            if on_loop:
+                self._flush_conn_tel()
+        if self._slo_acc is not None:
+            self._slo_acc.flush()
+        self._flush_spans()
+
+    def _flush_conn_tel(self) -> None:
+        """Emit every connection's pending merge window (loop thread)."""
+        for proto in list(self._protos):
+            if proto.tel is not None:
+                self._emit_tel(proto)
+
+    def _flush_spans(self) -> None:
+        """Materialise ring-buffered request groups as tracer spans."""
+        tracer = self.tracer
+        ring = self._span_ring
+        if tracer is None or not ring:
+            return
+        epoch_perf = tracer.epoch_perf
+        roots = tracer.roots
+        while True:
+            try:
+                (
+                    end,
+                    seconds,
+                    path,
+                    status,
+                    epoch,
+                    n_requests,
+                    trace_id,
+                    parent_id,
+                ) = ring.popleft()
+            except IndexError:
+                break
+            span = Span(
+                "serve.request_group",
+                max(end - epoch_perf - seconds, 0.0),
+                endpoint=path,
+                status=status,
+                epoch=epoch,
+                n_requests=n_requests,
+                trace_id=trace_id,
+                parent_id=parent_id,
+            )
+            span.duration = seconds
+            roots.append(span)
+        if len(roots) > _TRACE_ROOTS_CAP:
+            del roots[: len(roots) - _TRACE_ROOTS_CAP]
 
     def _refresh_gauges(self, snap) -> None:
         registry = self.registry
@@ -507,12 +879,13 @@ class PartitionServer:
         else:
             registry.set_gauge("serve.qps", 0.0)
         latencies = list(self._latencies)
-        registry.set_gauge(
-            "serve.latency_p50_s", quantile_from_latencies(latencies, 0.5)
-        )
-        registry.set_gauge(
-            "serve.latency_p99_s", quantile_from_latencies(latencies, 0.99)
-        )
+        p50, p99 = quantiles_from_latencies(latencies, (0.5, 0.99))
+        registry.set_gauge("serve.latency_p50_s", p50)
+        registry.set_gauge("serve.latency_p99_s", p99)
+        if self.slo is not None:
+            if self._slo_acc is not None:
+                self._slo_acc.flush()
+            self.slo.export_gauges(registry)
         try:
             from repro.obs.profile import sample_process_gauges
 
@@ -521,6 +894,7 @@ class PartitionServer:
             pass
 
     def _metrics_response(self, snap) -> bytes:
+        self.flush_telemetry()
         self._refresh_gauges(snap)
         extra = {"run_id": self.run_id} if self.run_id else None
         text = render_prometheus(self.registry, extra_labels=extra)
@@ -530,6 +904,133 @@ class PartitionServer:
             b"charset=utf-8\r\nContent-Length: %d\r\n\r\n" % len(body)
         )
         return head + body
+
+    def _slo_response(self) -> bytes:
+        if self.slo is None:
+            return _json_response({"enabled": False})
+        self.flush_telemetry()
+        return _json_response(self.slo.to_dict())
+
+    def _trace_response(self) -> bytes:
+        """Recent request-group spans (debug endpoint for propagation tests)."""
+        if self.tracer is None:
+            return _json_response({"enabled": False, "spans": []})
+        self.flush_telemetry()
+        roots = list(self.tracer.roots)[-200:]
+        return _json_response(
+            {"enabled": True, "spans": [span.to_dict() for span in roots]}
+        )
+
+    def _dashboard_response(self, snap) -> bytes:
+        self.flush_telemetry()
+        self._refresh_gauges(snap)
+        body = self._dashboard_html(snap).encode("utf-8")
+        head = (
+            b"HTTP/1.1 200 OK\r\nContent-Type: text/html; charset=utf-8\r\n"
+            b"Content-Length: %d\r\n\r\n" % len(body)
+        )
+        return head + body
+
+    def _dashboard_html(self, snap) -> str:
+        from repro.viz.svg import render_sparkline
+
+        esc = _html.escape
+        parts: List[str] = [
+            "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+            "<title>repro live dashboard</title>",
+            "<style>body{font-family:sans-serif;margin:24px;color:#222}"
+            "table{border-collapse:collapse;margin:8px 0}"
+            "td,th{border:1px solid #ccc;padding:4px 10px;font-size:13px;"
+            "text-align:right}th{background:#f4f4f4}"
+            "h2{margin-top:28px}.burning{color:#c00;font-weight:bold}"
+            ".ok{color:#2a7}.series{display:inline-block;margin:6px 14px 6px 0;"
+            "vertical-align:top;font-size:12px}</style></head><body>",
+            "<h1>repro live dashboard</h1>",
+            f"<p>epoch <b>{snap.epoch}</b> (age {snap.age_s:.1f}s) &middot; "
+            f"{snap.index.n_segments} segments &middot; k={snap.index.k} "
+            f"&middot; {self._n_requests} requests served</p>",
+        ]
+
+        parts.append("<h2>SLOs</h2>")
+        if self.slo is None:
+            parts.append("<p>no SLO tracker attached (start with "
+                         "<code>--slo-latency-ms</code>)</p>")
+        else:
+            parts.append(
+                "<table><tr><th>objective</th><th>state</th>"
+                "<th>budget left</th><th>windows (burn rate)</th></tr>"
+            )
+            for entry in self.slo.evaluate():
+                name = esc(entry["objective"]["name"])
+                state = (
+                    "<span class='burning'>BURNING</span>"
+                    if entry["burning"]
+                    else "<span class='ok'>ok</span>"
+                )
+                windows = ", ".join(
+                    f"{w['window_s']:g}s: {w['burn_rate']:.2f}"
+                    for w in entry["windows"]
+                )
+                parts.append(
+                    f"<tr><td>{name}</td><td>{state}</td>"
+                    f"<td>{entry['budget_remaining']:.1%}</td>"
+                    f"<td>{esc(windows)}</td></tr>"
+                )
+            parts.append("</table>")
+
+        parts.append("<h2>Live series</h2>")
+        if self.live is None:
+            parts.append("<p>no live recorder attached (start with "
+                         "<code>--record-live</code>)</p>")
+        else:
+            drawn = 0
+            for name in self.live.series_names:
+                series = self.live.series(name)
+                values = series.values()
+                if not values:
+                    continue
+                agg = series.aggregate()
+                spark = render_sparkline(values[-256:], title=name)
+                parts.append(
+                    f"<div class='series'><b>{esc(name)}</b><br>{spark}<br>"
+                    f"last {agg['last']:.4g} &middot; p50 {agg['p50']:.4g} "
+                    f"&middot; p99 {agg['p99']:.4g} &middot; "
+                    f"n={agg['count']}</div>"
+                )
+                drawn += 1
+            if not drawn:
+                parts.append("<p>no samples yet</p>")
+
+        parts.append("<h2>Epoch genealogy</h2>")
+        if self.genealogy is None:
+            parts.append("<p>no genealogy recorder attached</p>")
+        else:
+            history = self.genealogy.to_dict()["epochs"][-15:]
+            if not history:
+                parts.append("<p>no epochs recorded yet</p>")
+            else:
+                parts.append(
+                    "<table><tr><th>epoch</th><th>regions</th><th>churn</th>"
+                    "<th>update s</th><th>ANS</th><th>GDBI</th>"
+                    "<th>splits</th><th>merges</th></tr>"
+                )
+                for entry in history:
+                    lineage = entry.get("lineage", {})
+                    parts.append(
+                        "<tr>"
+                        f"<td>{entry['epoch']}</td>"
+                        f"<td>{entry['n_regions']}</td>"
+                        f"<td>{entry['churn']}</td>"
+                        f"<td>{entry['update_s']:.4f}</td>"
+                        f"<td>{entry.get('ans', float('nan')):.4f}</td>"
+                        f"<td>{entry.get('gdbi', float('nan')):.4f}</td>"
+                        f"<td>{lineage.get('splits', 0)}</td>"
+                        f"<td>{lineage.get('merges', 0)}</td>"
+                        "</tr>"
+                    )
+                parts.append("</table>")
+        parts.append("</body></html>")
+        return "".join(parts)
 
     def _epoch_info(self, snap) -> Dict[str, Any]:
         return {

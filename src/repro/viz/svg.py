@@ -301,6 +301,51 @@ def render_flamegraph(
     return "\n".join(lines)
 
 
+def render_sparkline(
+    values: Sequence[float],
+    width: int = 220,
+    height: int = 36,
+    color: str = "#377eb8",
+    title: str = "",
+) -> str:
+    """Inline SVG sparkline of a small value series.
+
+    The live ``/dashboard`` and the flight-recorder's telemetry pane
+    embed one per time series: a polyline fitted to the canvas with a
+    2px margin, a filled dot on the last sample, and the min/max span
+    in the hover title. A single sample renders as a flat line.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        raise DataError("cannot render an empty sparkline")
+    lo, hi = min(vals), max(vals)
+    span = max(hi - lo, 1e-12)
+    margin = 2.0
+    inner_w = width - 2 * margin
+    inner_h = height - 2 * margin
+    n = len(vals)
+
+    def point(i: int, v: float):
+        x = margin + (inner_w * i / max(n - 1, 1))
+        y = margin + inner_h * (1.0 - (v - lo) / span)
+        return round(x, 2), round(y, 2)
+
+    points = [point(i, v) for i, v in enumerate(vals)]
+    poly = " ".join(f"{x},{y}" for x, y in points)
+    hover = title or f"{n} samples, min {lo:.4g}, max {hi:.4g}"
+    last_x, last_y = points[-1]
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">'
+        f"<title>{html.escape(hover)}</title>"
+        f'<rect width="{width}" height="{height}" fill="white"/>'
+        f'<polyline points="{poly}" fill="none" stroke="{color}" '
+        f'stroke-width="1.5" stroke-linejoin="round"/>'
+        f'<circle cx="{last_x}" cy="{last_y}" r="2.5" fill="{color}"/>'
+        f"</svg>"
+    )
+
+
 def save_svg(svg: str, path: Union[str, Path]) -> Path:
     """Write an SVG string to ``path`` and return the path."""
     path = Path(path)

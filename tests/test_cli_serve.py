@@ -171,3 +171,161 @@ class TestServeEndToEnd:
         assert rc == 0, f"non-zero exit {rc}: {stderr[-2000:]}"
         assert "Traceback" not in stderr
         assert "server stopped" in stderr
+
+
+@pytest.fixture(scope="module")
+def observed_server():
+    """A server subprocess with the full telemetry plane switched on.
+
+    stderr is drained on a background thread — with every request
+    group access-logged, an undrained pipe would fill and block the
+    server's event loop mid-test.
+    """
+    import threading
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "--log-level", "info",
+            "serve", "D1", "-k", "4", "--port", "0",
+            "--slo-latency-ms", "50", "--record-live", "--live-hz", "10",
+            "--access-log-sample", "1.0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    stderr_lines: list = []
+    drain = threading.Thread(
+        target=lambda: stderr_lines.extend(proc.stderr), daemon=True
+    )
+    drain.start()
+    try:
+        line = proc.stdout.readline()
+        if not line:
+            drain.join(timeout=5)
+            raise RuntimeError(
+                "server died at startup: " + "".join(stderr_lines)[-2000:]
+            )
+        status = json.loads(line)
+        assert status["status"] == "serving"
+        yield {"proc": proc, "stderr_lines": stderr_lines, "drain": drain, **status}
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=15)
+        drain.join(timeout=5)
+
+
+class TestObservedServeEndToEnd:
+    def test_slo_endpoint_reports_both_objectives(self, observed_server):
+        _get(observed_server["url"] + "/lookup?segment=1")
+        doc = json.loads(_get(observed_server["url"] + "/slo"))
+        assert doc["enabled"] is True
+        names = {e["objective"]["name"] for e in doc["objectives"]}
+        assert names == {"availability", "latency"}
+
+    def test_loadgen_trace_ids_appear_in_server_spans(self, observed_server):
+        """The propagation chain: loadgen stamps deterministic
+        traceparent headers; the server's request-group spans must
+        carry those exact trace ids."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "loadgen",
+                "--port", str(observed_server["port"]),
+                "--duration", "0.4", "--connections", "2", "--depth", "4",
+                "--seed", "7", "--json",
+            ],
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        report = json.loads(result.stdout)
+        assert len(report["trace_ids"]) == 2  # one per connection
+        # the loadgen's post-run /slo fetch rides in the report
+        assert report["slo"]["enabled"] is True
+
+        doc = json.loads(_get(observed_server["url"] + "/trace"))
+        assert doc["enabled"] is True
+        seen = {s["attrs"].get("trace_id") for s in doc["spans"]}
+        for trace_id in report["trace_ids"]:
+            assert trace_id in seen, (trace_id, sorted(seen)[:5])
+        span = next(
+            s for s in doc["spans"]
+            if s["attrs"].get("trace_id") == report["trace_ids"][0]
+        )
+        assert span["attrs"]["endpoint"] == "/lookup"
+        assert span["attrs"]["status"] == 200
+        assert span["attrs"]["epoch"] >= 1
+
+    def test_slo_gauges_pass_the_strict_parser(self, observed_server):
+        _get(observed_server["url"] + "/lookup?segment=1")
+        text = _get(observed_server["url"] + "/metrics").decode("utf-8")
+        samples, __ = parse_prometheus(text)
+        names = {s.name for s in samples}
+        for family in (
+            "repro_slo_burn_rate",
+            "repro_slo_error_budget_remaining",
+            "repro_slo_burning",
+        ):
+            assert family in names, sorted(names)
+        responses = [s for s in samples if s.name == "repro_serve_responses_total"]
+        assert any(s.labels.get("status") == "200" for s in responses)
+
+    def test_dashboard_serves_html_sparklines(self, observed_server):
+        import time
+
+        _get(observed_server["url"] + "/lookup?segment=1")
+        time.sleep(0.3)  # let the 10 Hz live sampler tick
+        html = _get(observed_server["url"] + "/dashboard").decode("utf-8")
+        assert "serve.qps" in html
+        assert "polyline" in html
+        assert "availability" in html
+
+    def test_obs_slo_verb_exits_zero_within_budget(self, observed_server):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "obs", "slo",
+                "--port", str(observed_server["port"]),
+            ],
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "burning" in result.stdout
+
+    def test_access_logs_go_to_stderr_not_stdout(self, observed_server):
+        """--json consumers depend on stdout carrying exactly one JSON
+        status line; the sampled access log must stay on stderr."""
+        import time
+
+        _get(observed_server["url"] + "/lookup?segment=2")
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if any("serve.access" in l for l in observed_server["stderr_lines"]):
+                break
+            time.sleep(0.05)
+        logged = [
+            l for l in observed_server["stderr_lines"] if "serve.access" in l
+        ]
+        assert logged, "no access log lines reached stderr"
+        assert any("GET /lookup" in l for l in logged)
+        assert any("trace_id=" in l for l in logged)
+
+    def test_observed_sigterm_clean_and_only_status_on_stdout(
+        self, observed_server
+    ):
+        proc = observed_server["proc"]
+        _get(observed_server["url"] + "/lookup?segment=3")
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=15)
+        observed_server["drain"].join(timeout=5)
+        stdout_rest = proc.stdout.read()
+        stderr = "".join(observed_server["stderr_lines"])
+        assert rc == 0, f"non-zero exit {rc}: {stderr[-2000:]}"
+        assert stdout_rest.strip() == ""  # only the status line on stdout
+        assert "Traceback" not in stderr

@@ -270,3 +270,57 @@ class TestMonitoringSession:
         doc = out.read_text(encoding="utf-8")
         assert doc.startswith("<!DOCTYPE html>")
         assert "monitor.update" in doc
+
+
+class TestQuantilesFromLatencies:
+    def test_multi_quantile_matches_single(self):
+        from repro.obs.export import (
+            quantile_from_latencies,
+            quantiles_from_latencies,
+        )
+
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        multi = quantiles_from_latencies(values, (0.0, 0.5, 0.9, 1.0))
+        assert multi == [
+            quantile_from_latencies(values, q) for q in (0.0, 0.5, 0.9, 1.0)
+        ]
+        assert multi == [1.0, 3.0, 5.0, 5.0]
+
+    def test_empty_values_give_zeros(self):
+        from repro.obs.export import quantiles_from_latencies
+
+        assert quantiles_from_latencies([], (0.5, 0.99)) == [0.0, 0.0]
+
+    def test_out_of_range_quantile_rejected(self):
+        from repro.obs.export import quantiles_from_latencies
+
+        with pytest.raises(ValueError):
+            quantiles_from_latencies([1.0], (1.5,))
+        with pytest.raises(ValueError):
+            quantiles_from_latencies([1.0], (-0.1,))
+
+    def test_unsorted_input_handled(self):
+        from repro.obs.export import quantiles_from_latencies
+
+        assert quantiles_from_latencies([9.0, 1.0], (0.5,)) == [1.0]
+
+
+class TestMetricsHTTPServer404Body:
+    def test_404_carries_a_json_body(self):
+        """Regression: the 404 path used to send headers with no body,
+        leaving clients that trust Content-Type hanging on an empty
+        document."""
+        import json as _json
+
+        reg = MetricsRegistry()
+        with MetricsHTTPServer(reg) as server:
+            base = server.url.rsplit("/", 1)[0]
+            try:
+                urllib.request.urlopen(base + "/nope", timeout=5)
+                raise AssertionError("expected HTTP 404")
+            except urllib.error.HTTPError as err:
+                assert err.code == 404
+                body = _json.loads(err.read())
+                assert body["status"] == 404
+                assert "metrics" in body["error"]
+                assert err.headers["Content-Type"].startswith("application/json")

@@ -1,0 +1,292 @@
+"""Unit tests for the live-telemetry store (``repro.obs.live``).
+
+TimeSeries/LiveRecorder run against an injected fake clock (no sleeps,
+no threads needed for the semantics); the genealogy recorder is driven
+through a real :class:`IncrementalRepartitioner` subscription so the
+epoch hook is tested exactly as the serving plane wires it.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.network.dual import build_road_graph
+from repro.network.generators import grid_network
+from repro.obs.live import EpochGenealogyRecorder, LiveRecorder, TimeSeries
+from repro.obs.metrics import MetricsRegistry
+from repro.pipeline.incremental import IncrementalRepartitioner
+from repro.traffic.profiles import hotspot_profile
+
+
+class FakeClock:
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTimeSeries:
+    def test_capacity_bound_drops_oldest(self):
+        ts = TimeSeries("x", capacity=4)
+        for i in range(10):
+            ts.add(float(i), t=float(i))
+        assert len(ts) == 4
+        assert ts.values() == [6.0, 7.0, 8.0, 9.0]
+
+    def test_capacity_must_be_at_least_two(self):
+        with pytest.raises(DataError):
+            TimeSeries("x", capacity=1)
+
+    def test_window_filters_by_trailing_seconds(self):
+        clock = FakeClock()
+        ts = TimeSeries("x", clock=clock)
+        ts.add(1.0)
+        clock.advance(10.0)
+        ts.add(2.0)
+        clock.advance(1.0)
+        assert ts.values(window_s=5.0) == [2.0]
+        assert ts.values(window_s=None) == [1.0, 2.0]
+
+    def test_rate_is_counter_delta_per_second(self):
+        clock = FakeClock()
+        ts = TimeSeries("c", clock=clock)
+        ts.add(100.0)
+        clock.advance(10.0)
+        ts.add(150.0)
+        assert ts.rate() == pytest.approx(5.0)
+
+    def test_rate_clamps_counter_resets_to_zero(self):
+        clock = FakeClock()
+        ts = TimeSeries("c", clock=clock)
+        ts.add(100.0)
+        clock.advance(10.0)
+        ts.add(3.0)  # process restarted
+        assert ts.rate() == 0.0
+
+    def test_rate_needs_two_samples(self):
+        ts = TimeSeries("c")
+        assert ts.rate() == 0.0
+        ts.add(1.0)
+        assert ts.rate() == 0.0
+
+    def test_aggregate_quantiles_bracket_the_data(self):
+        ts = TimeSeries("lat")
+        for v in (1.0, 2.0, 2.0, 3.0, 100.0):
+            ts.add(v, t=0.0)
+        agg = ts.aggregate()
+        assert agg["count"] == 5
+        assert agg["min"] == 1.0
+        assert agg["max"] == 100.0
+        assert agg["last"] == 100.0
+        assert 1.0 <= agg["p50"] <= 4.0
+        assert agg["p99"] <= 100.0
+        assert agg["p50"] <= agg["p99"]
+
+    def test_empty_aggregate(self):
+        assert TimeSeries("x").aggregate() == {"count": 0}
+
+    def test_to_dict_round_trips_through_json(self):
+        ts = TimeSeries("x")
+        ts.add(1.5, t=10.0)
+        doc = json.loads(json.dumps(ts.to_dict()))
+        assert doc["name"] == "x"
+        assert doc["n_samples"] == 1
+        assert doc["samples"] == [[10.0, 1.5]]
+
+
+class TestLiveRecorder:
+    def test_pull_sources_sampled_in_one_tick(self):
+        clock = FakeClock()
+        recorder = LiveRecorder(hz=1.0, clock=clock)
+        values = {"a": 1.0, "b": 2.0}
+        recorder.add_source("a", lambda: values["a"])
+        recorder.add_source("b", lambda: values["b"])
+        recorder.sample_once()
+        values["a"] = 5.0
+        clock.advance(1.0)
+        recorder.sample_once()
+        assert recorder.series("a").values() == [1.0, 5.0]
+        assert recorder.series("b").values() == [2.0, 2.0]
+
+    def test_failing_source_skips_tick_but_others_survive(self):
+        recorder = LiveRecorder()
+
+        def boom():
+            raise RuntimeError("sensor on fire")
+
+        recorder.add_source("bad", boom)
+        recorder.add_source("good", lambda: 1.0)
+        recorder.sample_once()
+        assert recorder.series("bad").values() == []
+        assert recorder.series("good").values() == [1.0]
+
+    def test_none_source_value_skips_tick(self):
+        recorder = LiveRecorder()
+        recorder.add_source("absent", lambda: None)
+        recorder.sample_once()
+        assert recorder.series("absent").values() == []
+
+    def test_watch_registry_reads_gauges_by_name(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("serve.qps", 123.0)
+        recorder = LiveRecorder()
+        recorder.watch_registry(registry, ("serve.qps",))
+        recorder.sample_once()
+        registry.set_gauge("serve.qps", 456.0)
+        recorder.sample_once()
+        assert recorder.series("serve.qps").values() == [123.0, 456.0]
+
+    def test_push_record_and_series_names(self):
+        recorder = LiveRecorder()
+        recorder.record("epoch.churn", 17.0)
+        recorder.add_source("serve.qps", lambda: 1.0)
+        assert recorder.series_names == ["epoch.churn", "serve.qps"]
+
+    def test_invalid_hz_rejected(self):
+        with pytest.raises(DataError):
+            LiveRecorder(hz=0.0)
+
+    def test_sampler_thread_collects_and_stops(self):
+        recorder = LiveRecorder(hz=200.0)
+        recorder.add_source("x", lambda: 1.0)
+        import time as _time
+
+        with recorder:
+            deadline = _time.monotonic() + 5.0
+            while not recorder.series("x").values():
+                assert _time.monotonic() < deadline, "sampler never ticked"
+                _time.sleep(0.005)
+        n_after_stop = len(recorder.series("x"))
+        _time.sleep(0.05)
+        assert len(recorder.series("x")) == n_after_stop
+
+    def test_write_dumps_valid_json(self, tmp_path):
+        recorder = LiveRecorder()
+        recorder.record("a", 1.0, t=0.0)
+        path = recorder.write(tmp_path / "live.json")
+        doc = json.loads(path.read_text())
+        assert doc["series"]["a"]["n_samples"] == 1
+        assert doc["hz"] == 1.0
+
+
+@pytest.fixture(scope="module")
+def incremental_setup():
+    network = grid_network(8, 8, two_way=True)
+    graph = build_road_graph(network)
+    base = hotspot_profile(network, n_hotspots=2, noise=0.0, seed=0)
+    return graph, base
+
+
+class TestEpochGenealogyRecorder:
+    def test_bootstrap_plus_updates_recorded(self, incremental_setup):
+        graph, base = incremental_setup
+        inc = IncrementalRepartitioner(graph, k=4, staleness_threshold=0.15, seed=0)
+        recorder = LiveRecorder()
+        genealogy = EpochGenealogyRecorder(recorder)
+        genealogy.attach(inc)
+
+        inc.bootstrap(base)
+        rng = np.random.default_rng(0)
+        densities = base
+        for __ in range(3):
+            densities = densities * rng.uniform(0.5, 2.0, size=densities.shape)
+            inc.update(densities)
+
+        doc = genealogy.to_dict()
+        assert doc["n_epochs"] == 4  # bootstrap + 3 updates
+        first, *rest = doc["epochs"]
+        assert first["churn"] == 0  # bootstrap has no previous epoch
+        assert first["n_regions"] >= 2
+        assert "ans" in first and "gdbi" in first
+        for entry in rest:
+            assert entry["update_s"] > 0
+            assert "lineage" in entry
+            counts = entry["lineage"]
+            assert set(counts) >= {"continuations", "splits", "merges"}
+        # the series feed the live recorder
+        assert recorder.series("epoch.churn").values()[0] == 0.0
+        assert len(recorder.series("epoch.n_regions")) == 4
+        assert len(recorder.series("epoch.continuations")) == 3
+
+    def test_unsubscribe_stops_recording(self, incremental_setup):
+        graph, base = incremental_setup
+        inc = IncrementalRepartitioner(graph, k=3, staleness_threshold=0.2, seed=0)
+        genealogy = EpochGenealogyRecorder(LiveRecorder())
+        unsubscribe = genealogy.attach(inc)
+        inc.bootstrap(base)
+        unsubscribe()
+        inc.update(base * 2.0)
+        assert genealogy.to_dict()["n_epochs"] == 1
+
+    def test_history_bound(self):
+        genealogy = EpochGenealogyRecorder(LiveRecorder(), quality=False, history=3)
+        labels = np.zeros(10, dtype=int)
+        for __ in range(7):
+            genealogy.on_epoch(labels, np.ones(10), None)
+        doc = genealogy.to_dict()
+        assert doc["n_epochs"] == 7
+        assert len(doc["epochs"]) == 3
+
+    def test_invalid_history_rejected(self):
+        with pytest.raises(DataError):
+            EpochGenealogyRecorder(LiveRecorder(), history=0)
+
+
+class TestSparkline:
+    def test_render_sparkline_is_svg_with_polyline(self):
+        from repro.viz.svg import render_sparkline
+
+        svg = render_sparkline([1.0, 3.0, 2.0, 5.0], title="qps")
+        assert svg.startswith("<svg")
+        assert "<polyline" in svg
+        assert "qps" in svg
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        from repro.viz.svg import render_sparkline
+
+        svg = render_sparkline([2.0, 2.0, 2.0])
+        assert "<polyline" in svg
+
+    def test_empty_series_rejected(self):
+        from repro.viz.svg import render_sparkline
+
+        with pytest.raises(DataError):
+            render_sparkline([])
+
+
+class TestReportLivePane:
+    def _live_payload(self):
+        recorder = LiveRecorder()
+        for i in range(5):
+            recorder.record("serve.qps", 100.0 + i, t=float(i))
+        return recorder.to_dict()
+
+    def test_flight_recorder_html_renders_live_section(self):
+        from repro.obs.report import flight_recorder_html
+
+        html = flight_recorder_html(live=self._live_payload())
+        assert "Live telemetry" in html
+        assert "serve.qps" in html
+        assert "<polyline" in html
+
+    def test_write_report_accepts_live_path(self, tmp_path):
+        from repro.obs.report import write_report
+
+        live_path = tmp_path / "live.json"
+        live_path.write_text(json.dumps(self._live_payload()))
+        metrics_path = tmp_path / "metrics.json"
+        metrics_path.write_text(
+            json.dumps({"counters": {}, "gauges": {}, "histograms": {}})
+        )
+        out = write_report(
+            None, metrics_path, tmp_path / "report.html", live_path=live_path
+        )
+        doc = out.read_text(encoding="utf-8")
+        assert "Live telemetry" in doc
+        assert "serve.qps" in doc

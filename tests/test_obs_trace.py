@@ -172,3 +172,120 @@ class TestThreading:
         assert main_tid not in worker_tids
         assert len(worker_tids) == 2
         validate_chrome_trace(doc)
+
+
+class TestTraceparent:
+    """W3C trace-context header handling (make/parse round trips)."""
+
+    def test_make_default_is_valid_and_random(self):
+        from repro.obs.trace import make_traceparent, parse_traceparent
+
+        a, b = make_traceparent(), make_traceparent()
+        assert a != b  # fresh random ids
+        parsed = parse_traceparent(a)
+        assert parsed is not None
+        trace_id, parent_id, sampled = parsed
+        assert len(trace_id) == 32 and len(parent_id) == 16
+        assert sampled is True
+
+    def test_explicit_ids_round_trip(self):
+        from repro.obs.trace import make_traceparent, parse_traceparent
+
+        header = make_traceparent(
+            trace_id="0af7651916cd43dd8448eb211c80319c",
+            parent_id="b7ad6b7169203331",
+            sampled=False,
+        )
+        assert header == "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00"
+        assert parse_traceparent(header) == (
+            "0af7651916cd43dd8448eb211c80319c",
+            "b7ad6b7169203331",
+            False,
+        )
+
+    def test_make_rejects_bad_ids(self):
+        from repro.exceptions import DataError
+        from repro.obs.trace import make_traceparent
+
+        for bad in ("short", "Z" * 32, "0" * 32):
+            with pytest.raises(DataError):
+                make_traceparent(trace_id=bad)
+        with pytest.raises(DataError):
+            make_traceparent(parent_id="0" * 16)
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "junk",
+            "00-abc-def-01",  # ids too short
+            "00-" + "0" * 32 + "-" + "1" * 16 + "-01",  # all-zero trace id
+            "00-" + "1" * 32 + "-" + "0" * 16 + "-01",  # all-zero parent id
+            "00-" + "g" * 32 + "-" + "1" * 16 + "-01",  # non-hex
+            "ff-" + "1" * 32 + "-" + "1" * 16 + "-01",  # forbidden version
+            "00-" + "1" * 32 + "-" + "1" * 16 + "-01-extra",  # v00 is 4 parts
+            "0-" + "1" * 32 + "-" + "1" * 16 + "-01",  # 1-char version
+        ],
+    )
+    def test_malformed_headers_parse_to_none(self, header):
+        from repro.obs.trace import parse_traceparent
+
+        assert parse_traceparent(header) is None
+
+    def test_bytes_and_whitespace_accepted(self):
+        from repro.obs.trace import parse_traceparent
+
+        header = "  00-" + "a" * 32 + "-" + "b" * 16 + "-01  "
+        assert parse_traceparent(header) is not None
+        assert parse_traceparent(header.encode()) is not None
+
+    def test_future_version_with_extra_fields_accepted(self):
+        # per W3C: unknown versions parse leniently if the prefix fits
+        from repro.obs.trace import parse_traceparent
+
+        header = "01-" + "a" * 32 + "-" + "b" * 16 + "-01-futurefield"
+        parsed = parse_traceparent(header)
+        assert parsed is not None
+        assert parsed[0] == "a" * 32
+
+
+class TestTraceparentProperties:
+    def test_round_trip_and_malformed_fuzz(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.obs.trace import make_traceparent, parse_traceparent
+
+        hex_char = st.sampled_from("0123456789abcdef")
+
+        @st.composite
+        def hex_id(draw, length):
+            value = "".join(draw(st.lists(
+                hex_char, min_size=length, max_size=length
+            )))
+            return value if int(value, 16) != 0 else "1" * length
+
+        @settings(max_examples=50, deadline=None)
+        @given(
+            trace_id=hex_id(32),
+            parent_id=hex_id(16),
+            sampled=st.booleans(),
+        )
+        def round_trips(trace_id, parent_id, sampled):
+            header = make_traceparent(
+                trace_id=trace_id, parent_id=parent_id, sampled=sampled
+            )
+            assert parse_traceparent(header) == (trace_id, parent_id, sampled)
+
+        @settings(max_examples=100, deadline=None)
+        @given(st.text(max_size=80))
+        def never_raises(junk):
+            result = parse_traceparent(junk)
+            if result is not None:
+                trace_id, parent_id, sampled = result
+                assert len(trace_id) == 32 and len(parent_id) == 16
+                assert isinstance(sampled, bool)
+
+        round_trips()
+        never_raises()
