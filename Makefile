@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench bench-full bench-hotpaths bench-obs bench-scaling bench-scaling-full bench-serving bench-compare serve-demo slo-demo obs-report trace-demo profile-demo profile-demo-process examples docs-check all
+.PHONY: install test bench bench-full bench-hotpaths bench-obs bench-scaling bench-scaling-full bench-serving bench-compare serve-demo slo-demo obs-report trace-demo analyze-demo profile-demo profile-demo-process examples docs-check all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -72,6 +72,13 @@ slo-demo:
 obs-report: trace-demo
 	python -m repro obs report trace.json metrics.json -o report.html
 	@echo "wrote report.html"
+
+# Trace analytics on the trace-demo artifact: critical path and
+# ranked optimization targets, then the scaling-law fits + 100k-segment
+# forecast from the committed benchmark history.
+analyze-demo: trace-demo
+	python -m repro obs analyze trace.json
+	python -m repro obs scaling
 
 # Observed demo run: trace.json opens in https://ui.perfetto.dev,
 # metrics.json holds the counters + run manifest.

@@ -41,6 +41,17 @@ Subcommands
     Query a running server's ``/slo`` endpoint and report the
     error-budget state; exits non-zero while any objective is burning
     (the CI serve-smoke job uses this as its SLO gate).
+``obs analyze``
+    Analyze a trace JSON (nested or Chrome format): critical path,
+    per-stage self times, parallel slack with the Amdahl ceiling,
+    ranked optimization targets and harvested solver-convergence
+    traces. ``--json`` emits the strict analysis document the CI
+    obs-smoke job validates.
+``obs scaling``
+    Fit per-stage power laws ``t ≈ a·n^b`` over the benchmark history
+    and forecast each stage's cost at a target network size (default
+    100k segments, the paper's M3); flags superlinear stages. Exits 2
+    when the history has no stage measured at two sizes.
 ``serve``
     Partition a dataset (or load a saved ``PartitioningResult``) and
     serve segment→region lookups over HTTP with snapshot epochs; with
@@ -340,6 +351,48 @@ def _build_parser() -> argparse.ArgumentParser:
     pdiff.add_argument("new", help="new speedscope profile JSON")
     pdiff.add_argument(
         "--top", type=int, default=20, help="rows to print (default 20)"
+    )
+
+    ana = obs_sub.add_parser(
+        "analyze",
+        help="critical path, per-stage self times, parallel slack and "
+        "optimization targets from a trace JSON",
+    )
+    ana.add_argument(
+        "trace",
+        help="trace JSON path (nested --trace-out format or Chrome "
+        "trace-event format, merged multi-process traces included)",
+    )
+    ana.add_argument(
+        "--top", type=int, default=10,
+        help="number of ranked optimization targets (default 10)",
+    )
+    ana.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable analysis document",
+    )
+
+    scl = obs_sub.add_parser(
+        "scaling",
+        help="fit per-stage power laws over the benchmark history and "
+        "forecast city-scale cost",
+    )
+    scl.add_argument(
+        "--history", default=None,
+        help="history JSONL path (default benchmarks/results/history.jsonl)",
+    )
+    scl.add_argument(
+        "--bench", default=None,
+        help="restrict the fit to one benchmark name",
+    )
+    scl.add_argument(
+        "--forecast-n", type=int, default=None,
+        help="network size (segments) to forecast each stage at "
+        "(default 100000, the paper's M3 scale)",
+    )
+    scl.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable scaling report",
     )
 
     slo_q = obs_sub.add_parser(
@@ -801,6 +854,61 @@ def _cmd_obs_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_analyze(args: argparse.Namespace) -> int:
+    """Analyze a trace file into critical path + optimization targets."""
+    from repro.exceptions import DataError
+    from repro.obs.analyze import analyze_trace
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as fh:
+            trace = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        _diag(f"cannot read trace {args.trace}: {exc}")
+        return 1
+    try:
+        report = analyze_trace(trace, top=args.top)
+    except DataError as exc:
+        _diag(f"analysis failed: {exc}")
+        return 1
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render(top=args.top))
+    return 0
+
+
+def _cmd_obs_scaling(args: argparse.Namespace) -> int:
+    """Fit per-stage power laws over the history; exit 2 when unfittable."""
+    from repro.exceptions import DataError
+    from repro.obs.bench import DEFAULT_HISTORY
+    from repro.obs.scaling import (
+        DEFAULT_FORECAST_N,
+        fit_scaling_from_history,
+        render_scaling,
+    )
+
+    path = args.history if args.history else DEFAULT_HISTORY
+    forecast_n = args.forecast_n if args.forecast_n else DEFAULT_FORECAST_N
+    try:
+        report = fit_scaling_from_history(
+            path, bench=args.bench, forecast_n=forecast_n
+        )
+    except DataError as exc:
+        _diag(f"scaling fit failed: {exc}")
+        return 1
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_scaling(report))
+    if not report["stages"]:
+        _diag(
+            "no stage measured at >= 2 network sizes in the history; "
+            "run the table3 benchmark to record a multi-size sweep"
+        )
+        return 2
+    return 0
+
+
 def _cmd_obs_diff(args: argparse.Namespace) -> int:
     """Print frame-level CPU deltas between two speedscope profiles."""
     from repro.obs.profile import diff_profiles, render_diff, validate_speedscope
@@ -1127,6 +1235,8 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         "profile": _cmd_obs_profile,
         "diff": _cmd_obs_diff,
         "slo": _cmd_obs_slo,
+        "analyze": _cmd_obs_analyze,
+        "scaling": _cmd_obs_scaling,
     }
     return handlers[args.obs_command](args)
 

@@ -36,6 +36,11 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import ClusteringError
+from repro.obs.convergence import (
+    ConvergenceTrace,
+    attach_convergence,
+    convergence_wanted,
+)
 from repro.obs.metrics import incr, metrics_enabled
 from repro.util.rng import RngLike, ensure_rng
 
@@ -133,7 +138,14 @@ def kmeans_1d(
     edges = np.empty(kappa + 1, dtype=np.int64)
     edges[0], edges[kappa] = 0, n
 
+    conv = (
+        ConvergenceTrace("kmeans_1d", meta={"n": n, "kappa": kappa, "tol": tol})
+        if convergence_wanted()
+        else None
+    )
+
     n_iter = 0
+    shift = float("inf")
     for n_iter in range(1, max_iter + 1):
         centers = np.sort(centers)
         # boundaries halfway between consecutive means; cluster q owns
@@ -160,6 +172,8 @@ def kmeans_1d(
 
         shift = float(np.abs(new_centers - centers).sum())
         centers = new_centers
+        if conv is not None:
+            conv.record(shift=shift)
         if shift <= tol:
             break
 
@@ -169,6 +183,9 @@ def kmeans_1d(
     inertia = float(((data - centers[labels]) ** 2).sum())
     incr("kmeans1d.fits")
     incr("kmeans1d.iterations", n_iter)
+    if conv is not None:
+        conv.finish(converged=shift <= tol, inertia=inertia)
+        attach_convergence(conv)
     return KMeansResult(labels=labels, centers=centers, inertia=inertia, n_iter=n_iter)
 
 
@@ -351,13 +368,25 @@ def kmeans(
     # only runs while a metrics registry is active
     track_moves = metrics_enabled()
     reassigned = 0
+    # same guard for the per-iteration convergence series: the inertia
+    # reduction costs an O(n) sum per iteration
+    track_convergence = convergence_wanted()
 
     best: Optional[KMeansResult] = None
-    for __ in range(n_init):
+    for restart in range(n_init):
+        conv = (
+            ConvergenceTrace(
+                "kmeans_nd",
+                meta={"n": n, "kappa": kappa, "tol": tol, "restart": restart},
+            )
+            if track_convergence
+            else None
+        )
         centers = _kmeanspp_init(arr, kappa, rng)
         labels = np.zeros(n, dtype=int)
         prev_labels: Optional[np.ndarray] = None
         n_iter = 0
+        shift = float("inf")
         for n_iter in range(1, max_iter + 1):
             # assignment step (chunked expansion, no n*kappa*d tensor)
             labels, __dists = assign_to_centers(arr, centers, sq_norms=sq_norms)
@@ -365,6 +394,8 @@ def kmeans(
                 if prev_labels is not None:
                     reassigned += int((labels != prev_labels).sum())
                 prev_labels = labels
+            if conv is not None:
+                conv.record(inertia=float(__dists.sum()))
 
             # update step
             new_centers = centers.copy()
@@ -382,6 +413,8 @@ def kmeans(
 
             shift = float(np.abs(new_centers - centers).sum())
             centers = new_centers
+            if conv is not None:
+                conv.record(shift=shift)
             if shift <= tol:
                 break
 
@@ -392,6 +425,9 @@ def kmeans(
         )
         incr("kmeans_nd.fits")
         incr("kmeans_nd.iterations", n_iter)
+        if conv is not None:
+            conv.finish(converged=shift <= tol, inertia=inertia)
+            attach_convergence(conv)
         if best is None or candidate.inertia < best.inertia:
             best = candidate
     if track_moves:

@@ -20,6 +20,11 @@ import scipy.sparse as sp
 
 from repro.exceptions import PartitioningError
 from repro.graph.components import is_connected
+from repro.obs.convergence import (
+    ConvergenceTrace,
+    attach_convergence,
+    convergence_wanted,
+)
 from repro.obs.metrics import incr
 
 
@@ -75,8 +80,18 @@ def boundary_refine(
     sums = np.bincount(lab, weights=feats, minlength=k)
     indptr, indices = adj.indptr, adj.indices
 
+    conv = (
+        ConvergenceTrace(
+            "boundary_refine",
+            meta={"n": n, "k": k, "max_sweeps": max_sweeps},
+        )
+        if convergence_wanted()
+        else None
+    )
+
     total_moves = 0
     sweeps = 0
+    moved = 0
     for __ in range(max_sweeps):
         sweeps += 1
         moved = 0
@@ -115,9 +130,14 @@ def boundary_refine(
             sums[best_part] += feats[u]
             moved += 1
         total_moves += moved
+        if conv is not None:
+            conv.record(moves=moved)
         if moved == 0:
             break
     incr("boundary_refine.calls")
     incr("boundary_refine.sweeps", sweeps)
     incr("boundary_refine.moves", total_moves)
+    if conv is not None:
+        conv.finish(converged=moved == 0 or max_sweeps == 0, total_moves=total_moves)
+        attach_convergence(conv)
     return lab

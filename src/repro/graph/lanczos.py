@@ -22,6 +22,11 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import GraphError
+from repro.obs.convergence import (
+    ConvergenceTrace,
+    attach_convergence,
+    convergence_wanted,
+)
 from repro.obs.metrics import incr
 from repro.util.rng import RngLike, ensure_rng
 
@@ -74,12 +79,19 @@ def lanczos_tridiagonalize(
         raise GraphError(f"need 1 <= m <= n={n}, got m={m}")
     rng = ensure_rng(seed)
 
+    conv = (
+        ConvergenceTrace("lanczos", meta={"n": n, "m": m})
+        if convergence_wanted()
+        else None
+    )
+
     q = rng.normal(size=n)
     q /= np.linalg.norm(q)
     basis = [q]
     alphas = []
     betas = []
 
+    invariant = False
     for j in range(m):
         w = matvec(basis[j])
         alpha = float(basis[j] @ w)
@@ -93,14 +105,23 @@ def lanczos_tridiagonalize(
             for vec in basis:
                 w -= (vec @ w) * vec
         beta = float(np.linalg.norm(w))
+        if conv is not None:
+            # beta is the natural residual of the Krylov recurrence:
+            # it bounds how much of the operator's action escapes the
+            # subspace built so far
+            conv.record(beta=beta)
         if j == m - 1:
             break
         if beta < 1e-12:
+            invariant = True
             break  # invariant subspace found
         betas.append(beta)
         basis.append(w / beta)
 
     incr("lanczos.iterations", len(alphas))
+    if conv is not None:
+        conv.finish(converged=True, invariant_subspace=invariant)
+        attach_convergence(conv)
     return (
         np.asarray(alphas),
         np.asarray(betas[: len(alphas) - 1]),
@@ -113,6 +134,7 @@ def lanczos_smallest(
     k: int,
     m: Optional[int] = None,
     seed: RngLike = 0,
+    stats: Optional[dict] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """The k algebraically smallest eigenpairs via Lanczos.
 
@@ -129,6 +151,11 @@ def lanczos_smallest(
         clustered eigenvalues.
     seed:
         Start-vector seed (fixed default for reproducibility).
+    stats:
+        Optional dict the solver fills with execution facts —
+        ``iterations`` (Lanczos steps actually run), ``krylov_dim``
+        (requested) and ``dense_fallback`` — consumed by the
+        eigensolver-outcome record of :mod:`repro.core.spectral`.
 
     Returns
     -------
@@ -144,6 +171,10 @@ def lanczos_smallest(
         raise GraphError(f"Krylov dimension m={m} must be >= k={k}")
 
     alphas, betas, basis = lanczos_tridiagonalize(operator, m, seed=seed)
+    if stats is not None:
+        stats["iterations"] = int(alphas.size)
+        stats["krylov_dim"] = int(m)
+        stats["dense_fallback"] = bool(alphas.size < k)
     if alphas.size < k:
         # invariant subspace smaller than k: fall back to dense on the
         # projected problem plus deflated restarts is overkill here —

@@ -58,7 +58,45 @@ On top of the per-run pillars sits the continuous-monitoring layer:
 * :mod:`repro.obs.slo` — declarative availability/latency objectives
   with multi-window error-budget burn rates (``slo.*`` gauges, the
   server's ``/slo`` endpoint, ``repro obs slo``).
+
+And the analysis layer, which *reads* what the other pillars record:
+
+* :mod:`repro.obs.analyze` — critical-path extraction, per-stage
+  self/total time, parallel slack with an Amdahl ceiling, and a ranked
+  optimization-target report over any trace export
+  (``repro-partition obs analyze``);
+* :mod:`repro.obs.convergence` — per-iteration solver telemetry
+  (:class:`ConvergenceTrace`) attached to spans by the Lanczos /
+  k-means / boundary-refinement kernels, rendered as convergence panes
+  in the flight recorder;
+* :mod:`repro.obs.scaling` — power-law fits ``t ≈ a·n^b`` per pipeline
+  stage over the benchmark history, with superlinear flags and
+  city-scale forecasts (``repro-partition obs scaling``).
 """
+
+from repro.obs.analyze import (
+    ANALYSIS_SCHEMA_VERSION,
+    AnalysisReport,
+    analyze_trace,
+    validate_analysis,
+)
+from repro.obs.convergence import (
+    CONVERGENCE_SCHEMA_VERSION,
+    ConvergenceTrace,
+    attach_convergence,
+    convergence_enabled,
+    convergence_wanted,
+    traces_from_attrs,
+)
+from repro.obs.scaling import (
+    SCALING_SCHEMA_VERSION,
+    SUPERLINEAR_EXPONENT,
+    collect_points,
+    fit_power_law,
+    fit_scaling,
+    fit_scaling_from_history,
+    render_scaling,
+)
 
 from repro.obs.bench import (
     append_history,
@@ -118,6 +156,24 @@ from repro.obs.trace import (
 __all__ = [
     "ObsContext",
     "observe_run",
+    # trace analytics & forecasting
+    "ANALYSIS_SCHEMA_VERSION",
+    "AnalysisReport",
+    "analyze_trace",
+    "validate_analysis",
+    "CONVERGENCE_SCHEMA_VERSION",
+    "ConvergenceTrace",
+    "attach_convergence",
+    "convergence_enabled",
+    "convergence_wanted",
+    "traces_from_attrs",
+    "SCALING_SCHEMA_VERSION",
+    "SUPERLINEAR_EXPONENT",
+    "collect_points",
+    "fit_power_law",
+    "fit_scaling",
+    "fit_scaling_from_history",
+    "render_scaling",
     # continuous monitoring layer
     "append_history",
     "load_history",

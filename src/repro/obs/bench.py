@@ -141,25 +141,65 @@ def value_direction(key: str) -> Optional[str]:
     return None
 
 
+#: Leaves that carry a problem size; ``history_record`` lifts the
+#: largest onto the record so size-aware consumers (the scaling-law
+#: fitter, dashboards) need not guess which dotted key means "n".
+_SIZE_LEAVES = {
+    "n_segments": ("n_segments", "segments"),
+    "n_supernodes": ("n_supernodes",),
+}
+
+
+def _lift_sizes(values: Dict[str, float]) -> Dict[str, int]:
+    """Top-level size stamps from a flattened value dict.
+
+    An exact top-level key wins; otherwise the maximum over matching
+    dotted leaves — for a multi-dataset payload (Table 3 runs D1
+    through M3 in one record) that is the largest network measured.
+    """
+    sizes: Dict[str, int] = {}
+    for name, leaves in _SIZE_LEAVES.items():
+        if name in values:
+            sizes[name] = int(values[name])
+            continue
+        candidates = [
+            value
+            for key, value in values.items()
+            if key.rsplit(".", 1)[-1] in leaves
+        ]
+        if candidates:
+            sizes[name] = int(max(candidates))
+    return sizes
+
+
 def history_record(
     bench: str,
     payload: Dict[str, Any],
     manifest: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """Build one provenance-stamped history record (not yet written)."""
+    """Build one provenance-stamped history record (not yet written).
+
+    Besides the flattened numeric surface, the record is stamped with
+    top-level ``n_segments`` / ``n_supernodes`` whenever the payload
+    carries them (under any dotted prefix) — the problem size a
+    record's timings were measured at.
+    """
     if manifest is None:
         manifest = payload.get("provenance") if isinstance(payload, dict) else None
     if manifest is None:
         manifest = run_manifest(extra={"bench": bench})
-    return {
+    values = flatten_numeric(payload)
+    record = {
         "schema_version": HISTORY_SCHEMA_VERSION,
         "bench": str(bench),
         "recorded_utc": manifest.get("created_utc"),
         "git_sha": manifest.get("git_sha"),
         "fingerprint": machine_fingerprint(manifest),
-        "values": flatten_numeric(payload),
+        "values": values,
         "manifest": manifest,
     }
+    record.update(_lift_sizes(values))
+    return record
 
 
 def append_history(

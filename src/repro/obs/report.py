@@ -12,6 +12,11 @@ images — with:
 * when the run was profiled, an inline SVG CPU flame graph
   (:func:`repro.viz.svg.render_flamegraph`) plus a top-frames-by-self-
   time table built from the speedscope profile;
+* an analysis pane — the critical path and ranked optimization
+  targets from :func:`repro.obs.analyze.analyze_trace` — plus solver
+  convergence panes (:func:`repro.viz.svg.render_convergence`) for
+  every :class:`repro.obs.convergence.ConvergenceTrace` the
+  instrumented kernels attached to spans;
 * counter / gauge / histogram tables from the metrics dump;
 * the Prometheus exposition snapshot of the same metrics, collapsed,
   so what a scraper would have seen is on record too.
@@ -37,7 +42,13 @@ __all__ = [
     "trace_bars",
     "profile_section",
     "live_section",
+    "analysis_section",
 ]
+
+#: At most this many convergence panes render in one report — a kappa
+#: scan attaches many near-identical kmeans_1d traces; the first few
+#: carry the story.
+MAX_CONVERGENCE_PANES = 12
 
 PathLike = Union[str, Path]
 
@@ -322,6 +333,85 @@ def _fmt_num(value: Any) -> str:
     return _esc(value)
 
 
+def analysis_section(trace: Optional[Dict[str, Any]]) -> Tuple[str, str]:
+    """(analysis pane, convergence pane) HTML for a trace document.
+
+    Runs :func:`repro.obs.analyze.analyze_trace` on the trace and
+    renders the optimization-target table with the critical path, plus
+    one :func:`repro.viz.svg.render_convergence` pane per harvested
+    solver trace (capped at :data:`MAX_CONVERGENCE_PANES`). Tolerant:
+    a trace the analyzer rejects yields placeholder panes, never an
+    exception — a half-written trace file must not take the report
+    down.
+    """
+    if not trace:
+        return "<p>(no trace to analyze)</p>", "<p>(no trace recorded)</p>"
+    from repro.exceptions import DataError
+    from repro.obs.analyze import analyze_trace
+
+    try:
+        report = analyze_trace(trace)
+    except DataError as exc:
+        message = f"<p>(trace not analyzable: {_esc(exc)})</p>"
+        return message, message
+
+    path_html = " → ".join(
+        f"<code>{_esc(entry['name'])}</code> ({entry['duration_s']:.3f}s)"
+        for entry in report.critical_path
+    )
+    rows = "".join(
+        f"<tr><td class=\"num\">{target['rank']}</td>"
+        f"<td><code>{_esc(target['name'])}</code></td>"
+        f"<td class=\"num\">{target['self_s']:.4f}</td>"
+        f"<td class=\"num\">{target['pct_of_wall']:.1f}%</td>"
+        f"<td class=\"num\">{target['count']}</td>"
+        f"<td>{_esc('; '.join(target['reasons']))}</td></tr>"
+        for target in report.targets
+    )
+    parallel_note = ""
+    if report.parallel:
+        ceiling = report.amdahl.get("ceiling")
+        parallel_note = (
+            f"<p>{len(report.parallel)} parallel region(s); serial fraction "
+            f"{report.amdahl.get('serial_fraction', 1.0):.0%}"
+            + (f", Amdahl ceiling {ceiling:.1f}x" if ceiling else "")
+            + "</p>"
+        )
+    analysis_html = (
+        f"<p>critical path: {path_html}</p>"
+        + parallel_note
+        + "<table><tr><th>#</th><th>stage</th><th>self (s)</th>"
+        + "<th>% of wall</th><th>spans</th><th>notes</th></tr>"
+        + rows
+        + "</table>"
+    )
+
+    if not report.convergence:
+        return analysis_html, "<p>(no solver convergence telemetry recorded)</p>"
+    from repro.viz.svg import render_convergence
+
+    panes: List[str] = []
+    for entry in report.convergence[:MAX_CONVERGENCE_PANES]:
+        payload = entry["trace"]
+        try:
+            pane = render_convergence(
+                payload.get("series") or {},
+                title=f"{payload.get('solver', '?')} @ {entry['span']}",
+                converged=payload.get("converged"),
+            )
+        except DataError:
+            continue  # series-less trace (e.g. a zero-iteration solve)
+        panes.append(f'<span class="series">{pane}</span>')
+    dropped = len(report.convergence) - len(panes)
+    suffix = f"<p>(+{dropped} more traces not drawn)</p>" if dropped > 0 else ""
+    convergence_html = (
+        '<div class="svgwrap">' + "".join(panes) + "</div>" + suffix
+        if panes
+        else "<p>(no solver convergence telemetry recorded)</p>"
+    )
+    return analysis_html, convergence_html
+
+
 def flight_recorder_html(
     trace: Optional[Dict[str, Any]] = None,
     metrics: Optional[Dict[str, Any]] = None,
@@ -384,6 +474,7 @@ def flight_recorder_html(
 
     profile_html, n_samples = profile_section(profile)
     live_html, n_series = live_section(live)
+    analysis_html, convergence_html = analysis_section(trace)
     exposition = render_prometheus(snapshot)
     sections = [
         "<!DOCTYPE html>",
@@ -395,6 +486,10 @@ def flight_recorder_html(
         _provenance_block(manifest),
         f"<h2>Trace ({n_spans} spans)</h2>",
         timeline,
+        "<h2>Analysis (critical path &amp; optimization targets)</h2>",
+        analysis_html,
+        "<h2>Solver convergence</h2>",
+        convergence_html,
         f"<h2>CPU profile ({n_samples} sampled stacks)</h2>",
         profile_html,
         f"<h2>Live telemetry ({n_series} series)</h2>",

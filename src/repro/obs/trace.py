@@ -409,6 +409,12 @@ class Tracer:
 def _jsonable(value: Any) -> Any:
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
+    if isinstance(value, dict):
+        # structured attributes (e.g. the convergence traces attached
+        # by repro.obs.convergence) survive both exports verbatim
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
     return str(value)
 
 

@@ -276,6 +276,11 @@ class SpatialPartitioningFramework:
             n_shards=self._n_shards,
             n_shards_resolved=result.n_shards_resolved,
             stages=self._stage_record(result),
+            extra=(
+                {"eigensolver": dict(result.eigensolver)}
+                if result.eigensolver is not None
+                else None
+            ),
         )
         return result
 

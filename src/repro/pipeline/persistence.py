@@ -33,6 +33,7 @@ def result_to_dict(result: PartitioningResult) -> Dict:
         "n_supernodes": (
             None if result.n_supernodes is None else int(result.n_supernodes)
         ),
+        "eigensolver": result.eigensolver,
         "manifest": result.manifest,
     }
 
@@ -47,6 +48,7 @@ def result_from_dict(data: Dict) -> PartitioningResult:
         k=int(data.get("k", 0)),
         timings=dict(data.get("timings", {})),
         n_supernodes=data.get("n_supernodes"),
+        eigensolver=data.get("eigensolver"),
         manifest=data.get("manifest"),
     )
 

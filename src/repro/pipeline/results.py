@@ -40,6 +40,12 @@ class PartitioningResult:
         Shard count the sharded supergraph builder actually used
         (after the minimum-size clamp), or None when the run was not
         sharded. Recorded into the run manifest by the framework.
+    eigensolver:
+        Outcome record of the spectral eigensolve (solver used,
+        iterations where known, residual at exit, converged flag,
+        fallback reason) — see
+        :func:`repro.core.spectral.last_eigensolver_outcome`. None for
+        schemes that never ran the alpha-Cut eigensolver (NG/JG).
     manifest:
         Run manifest (config, seed, package versions, platform, git
         SHA, timestamp) attached by the framework; see
@@ -52,6 +58,7 @@ class PartitioningResult:
     timings: Dict[str, float] = field(default_factory=dict)
     n_supernodes: Optional[int] = None
     n_shards_resolved: Optional[int] = None
+    eigensolver: Optional[Dict] = None
     manifest: Optional[Dict] = None
 
     def __post_init__(self) -> None:

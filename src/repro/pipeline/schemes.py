@@ -23,6 +23,7 @@ import numpy as np
 from repro.baselines.ji_geroliminis import JiGeroliminisPartitioner
 from repro.baselines.ncut import NcutPartitioner
 from repro.core.partitioner import AlphaCutPartitioner
+from repro.core.spectral import consume_eigensolver_outcome
 from repro.exceptions import PartitioningError
 from repro.graph.adjacency import Graph
 from repro.graph.affinity import congestion_affinity
@@ -118,6 +119,7 @@ def run_scheme(
 
     n_supernodes: Optional[int] = None
     n_shards_resolved: Optional[int] = None
+    consume_eigensolver_outcome()  # drop any stale record of a prior run
 
     if scheme in ("AG", "NG"):
         with own_timer.time("module3"):
@@ -185,4 +187,7 @@ def run_scheme(
         timings=own_timer.timings,
         n_supernodes=n_supernodes,
         n_shards_resolved=n_shards_resolved,
+        # module 3 runs serially in this process, so the last recorded
+        # outcome (if any) is this run's eigensolve
+        eigensolver=consume_eigensolver_outcome(),
     )

@@ -14,6 +14,7 @@ from repro.viz.charts import render_mfd, render_series
 from repro.viz.svg import (
     PALETTE,
     density_color,
+    render_convergence,
     render_network,
     render_partitions,
     save_svg,
@@ -24,6 +25,7 @@ __all__ = [
     "render_partitions",
     "render_mfd",
     "render_series",
+    "render_convergence",
     "save_svg",
     "density_color",
     "PALETTE",

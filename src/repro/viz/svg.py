@@ -346,6 +346,82 @@ def render_sparkline(
     )
 
 
+def render_convergence(
+    series: "dict[str, Sequence[float]]",
+    width: int = 320,
+    height: int = 96,
+    title: str = "convergence",
+    converged: Optional[bool] = None,
+) -> str:
+    """Inline SVG pane of a solver's per-iteration series.
+
+    ``series`` maps series names (``"residual"``, ``"inertia"``,
+    ``"moves"`` ...) to their per-iteration values — exactly the
+    ``series`` of a :class:`repro.obs.convergence.ConvergenceTrace`.
+    Each series is min-max normalised independently (a residual
+    falling 12 orders of magnitude and an inertia falling 2x share one
+    canvas) and drawn as a :data:`PALETTE`-coloured polyline with its
+    value range in the hover title. A red border flags an unconverged
+    run; single-sample series render as flat lines.
+    """
+    named = {
+        str(name): [float(v) for v in vals]
+        for name, vals in series.items()
+        if len(vals) > 0
+    }
+    if not named:
+        raise DataError("cannot render convergence without series data")
+    margin, label_h = 4.0, 16
+    inner_w = width - 2 * margin
+    inner_h = height - label_h - 2 * margin
+
+    lines: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f"<title>{html.escape(title)}</title>",
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{margin}" y="12" font-size="11" font-family="sans-serif" '
+        f'font-weight="bold">{html.escape(title)}</text>',
+    ]
+    if converged is False:
+        lines.append(
+            f'<rect x="0.5" y="0.5" width="{width - 1}" height="{height - 1}" '
+            f'fill="none" stroke="#e41a1c" stroke-width="1.5">'
+            f"<title>solver did not converge</title></rect>"
+        )
+    for index, (name, vals) in enumerate(sorted(named.items())):
+        lo, hi = min(vals), max(vals)
+        span = max(hi - lo, 1e-12)
+        n = len(vals)
+        points = []
+        for i, v in enumerate(vals):
+            x = margin + inner_w * i / max(n - 1, 1)
+            y = label_h + margin + inner_h * (1.0 - (v - lo) / span)
+            points.append(f"{round(x, 2)},{round(y, 2)}")
+        color = PALETTE[index % len(PALETTE)]
+        hover = html.escape(
+            f"{name}: {n} iterations, first {vals[0]:.4g}, "
+            f"last {vals[-1]:.4g} (min {lo:.4g}, max {hi:.4g})"
+        )
+        lines.append(
+            f'<polyline points="{" ".join(points)}" fill="none" '
+            f'stroke="{color}" stroke-width="1.5" stroke-linejoin="round">'
+            f"<title>{hover}</title></polyline>"
+        )
+        # series key, one swatch per line in the top-right corner
+        key_x = width - margin - 80
+        key_y = 8 + 11 * index
+        if key_y < height - 4:
+            lines.append(
+                f'<rect x="{key_x}" y="{key_y - 6}" width="8" height="8" '
+                f'fill="{color}"/>'
+                f'<text x="{key_x + 11}" y="{key_y + 2}" font-size="9" '
+                f'font-family="sans-serif">{html.escape(name)}</text>'
+            )
+    lines.append("</svg>")
+    return "\n".join(lines)
+
+
 def save_svg(svg: str, path: Union[str, Path]) -> Path:
     """Write an SVG string to ``path`` and return the path."""
     path = Path(path)
